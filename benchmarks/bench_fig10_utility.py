@@ -1,0 +1,71 @@
+"""Figure 10: VFILTER utility ``U(Q) = |V''| / |V_Q|`` on V_1..V_8.
+
+``V''`` is VFILTER's candidate set; ``V_Q`` the views with an actual
+homomorphism to ``Q``.  ``U ≥ 1`` always (no false negatives); the paper
+reports the average very close to 1 and the maximum between 3 and 16 —
+false positives come from distinct tree patterns sharing their path
+decompositions, which the workload rarely produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import FILTERING_CONFIG, build_view_patterns
+from repro.core import VFilter
+from repro.matching import has_homomorphism
+from repro.workload import QueryGenerator, generate_xmark_document
+
+from conftest import BENCH_SETS, UTILITY_QUERIES, write_results
+
+_series: dict[int, tuple[float, float]] = {}
+
+
+@pytest.fixture(scope="module")
+def probe_queries():
+    document = generate_xmark_document(scale=0.25, seed=7)
+    generator = QueryGenerator(document.schema, FILTERING_CONFIG, seed=1234)
+    return generator.generate_many(UTILITY_QUERIES)
+
+
+@pytest.mark.parametrize("count", BENCH_SETS)
+def test_fig10_utility(benchmark, view_sets, probe_queries, count):
+    views = view_sets[count]
+    vfilter = VFilter()
+    vfilter.add_views(views)
+
+    def utilities():
+        values = []
+        for query in probe_queries:
+            candidates = set(vfilter.filter(query).candidates)
+            actual = [
+                view.view_id
+                for view in views
+                if has_homomorphism(view.pattern, query)
+            ]
+            if not actual:
+                continue
+            missing = set(actual) - candidates
+            assert not missing, "false negative in VFILTER"
+            values.append(len(candidates) / len(actual))
+        return values
+
+    values = benchmark.pedantic(utilities, rounds=1, iterations=1)
+    assert values, "no probe query matched any view"
+    _series[count] = (sum(values) / len(values), max(values))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fig10_report(view_sets):
+    yield
+    if len(_series) < len(BENCH_SETS):
+        return
+    rows = [
+        [count, f"{_series[count][0]:.3f}", f"{_series[count][1]:.2f}"]
+        for count in BENCH_SETS
+    ]
+    title = (
+        "Figure 10 — utility U(Q)=|V''|/|V_Q| "
+        f"({UTILITY_QUERIES} probe queries per view set)"
+    )
+    write_results("fig10_utility", ["views", "avg U", "max U"], rows, title)

@@ -1,0 +1,63 @@
+"""Figure 12: filtering time of Q1..Q4 against V_1..V_8 automatons.
+
+Paper shape: filtering sits in the tens-to-hundreds of microseconds; a
+shallow query's time is nearly constant in the view count (few states
+reached), and even the steepest query grows far slower than the number
+of views (the paper reports ×3.2 time for ×8 views).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import TEST_QUERIES
+from repro.bench.report import format_seconds
+from repro.core import VFilter
+from repro.xpath import parse_xpath
+
+from conftest import BENCH_SETS, write_results
+
+QUERY_IDS = list(TEST_QUERIES)
+
+_measured: dict[tuple[str, int], float] = {}
+_filters: dict[int, VFilter] = {}
+
+
+@pytest.fixture(scope="module")
+def automatons(view_sets):
+    for count, views in view_sets.items():
+        vfilter = VFilter()
+        vfilter.add_views(views)
+        _filters[count] = vfilter
+    return _filters
+
+
+@pytest.mark.parametrize("count", BENCH_SETS)
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_fig12_filter_time(benchmark, automatons, query_id, count):
+    pattern = parse_xpath(TEST_QUERIES[query_id][0])
+    vfilter = automatons[count]
+    benchmark(vfilter.filter, pattern)
+    _measured[(query_id, count)] = benchmark.stats["mean"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fig12_report():
+    yield
+    if len(_measured) < len(QUERY_IDS) * len(BENCH_SETS):
+        return
+    rows = []
+    for query_id in QUERY_IDS:
+        row = [query_id]
+        for count in BENCH_SETS:
+            row.append(format_seconds(_measured[(query_id, count)]))
+        first = _measured[(query_id, BENCH_SETS[0])]
+        last = _measured[(query_id, BENCH_SETS[-1])]
+        row.append(f"×{last / first:.2f}")
+        rows.append(row)
+    headers = ["query"] + [str(c) for c in BENCH_SETS] + ["growth"]
+    title = (
+        "Figure 12 — VFILTER filtering time vs number of views "
+        f"(view growth ×{BENCH_SETS[-1] / BENCH_SETS[0]:.0f})"
+    )
+    write_results("fig12_filter_time", headers, rows, title)

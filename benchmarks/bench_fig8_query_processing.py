@@ -1,0 +1,69 @@
+"""Figure 8: query processing time — BN, BF, MN, MV, HV on Q1..Q4.
+
+Paper shape: BN (node index only) is slowest; BF (full index) is much
+faster but its index is ~4× the basic one; MN (minimum view set, no
+VFILTER) pays a large homomorphism-lookup cost; MV and HV answer from
+small materialized fragments, with HV ≤ MV because the heuristic favors
+views with smaller fragments.
+
+Every strategy's answer is asserted equal to direct evaluation before
+being timed, so the numbers compare *correct* implementations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import TEST_QUERIES
+from repro.bench.report import format_seconds
+
+from conftest import write_results
+
+QUERY_IDS = list(TEST_QUERIES)
+STRATEGIES = ["BN", "BF", "MN", "MV", "HV"]
+
+_measured: dict[tuple[str, str], float] = {}
+
+
+def _run(system, strategy, expression):
+    if strategy == "BN":
+        return system.answer_bn(expression)
+    if strategy == "BF":
+        return system.answer_bf(expression)
+    return system.answer(expression, strategy)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_fig8_query_processing(benchmark, env, query_id, strategy):
+    expression, expected_views = TEST_QUERIES[query_id]
+    truth = env.system.direct_codes(expression)
+    outcome = _run(env.system, strategy, expression)
+    assert outcome.codes == truth, (query_id, strategy)
+    if strategy in ("MV", "HV"):
+        assert len(outcome.view_ids) <= max(expected_views, 3)
+
+    result = benchmark(_run, env.system, strategy, expression)
+    assert result.codes == truth
+    _measured[(query_id, strategy)] = benchmark.stats["mean"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fig8_report(env):
+    """Write the Figure 8 series after the module's benchmarks ran."""
+    yield
+    if len(_measured) < len(QUERY_IDS) * len(STRATEGIES):
+        return
+    rows = []
+    for query_id in QUERY_IDS:
+        row = [query_id]
+        for strategy in STRATEGIES:
+            row.append(format_seconds(_measured[(query_id, strategy)]))
+        rows.append(row)
+    sizes = env.system.index_sizes()
+    title = (
+        "Figure 8 — query processing time "
+        f"(doc nodes={env.document.tree.size()}, views={env.view_count}; "
+        f"BN index {sizes['BN']} B, BF index {sizes['BF']} B)"
+    )
+    write_results("fig8_query_processing", ["query"] + STRATEGIES, rows, title)

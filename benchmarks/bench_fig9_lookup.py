@@ -1,0 +1,73 @@
+"""Figure 9: lookup time — finding the answering view set for Q1..Q4.
+
+Lookup = filtering + selection, without rewriting.  Paper shape: MN
+computes a homomorphism per registered view, so its lookup cost scales
+with the view count and dominates; with VFILTER both MV and HV are fast
+because only a handful of candidates survive, and filtering time itself
+dominates their lookup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import TEST_QUERIES
+from repro.bench.report import format_seconds
+from repro.core.selection import select_heuristic, select_minimum
+from repro.xpath import parse_xpath
+
+from conftest import write_results
+
+QUERY_IDS = list(TEST_QUERIES)
+STRATEGIES = ["MN", "MV", "HV"]
+
+_measured: dict[tuple[str, str], float] = {}
+
+
+def _lookup(system, strategy, pattern):
+    if strategy == "MN":
+        return select_minimum(
+            system.materialized_views(), pattern, system.fragments.fragment_bytes
+        )
+    filter_result = system.vfilter.filter(pattern)
+    if strategy == "MV":
+        candidates = [system.view(v) for v in filter_result.candidates]
+        return select_minimum(
+            candidates, pattern, system.fragments.fragment_bytes
+        )
+    return select_heuristic(
+        filter_result,
+        system.view,
+        pattern,
+        system.fragments.fragment_bytes,
+    )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_fig9_lookup(benchmark, env, query_id, strategy):
+    expression, _ = TEST_QUERIES[query_id]
+    pattern = parse_xpath(expression)
+    selection = _lookup(env.system, strategy, pattern)
+    assert selection.views
+
+    benchmark(_lookup, env.system, strategy, pattern)
+    _measured[(query_id, strategy)] = benchmark.stats["mean"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fig9_report(env):
+    yield
+    if len(_measured) < len(QUERY_IDS) * len(STRATEGIES):
+        return
+    rows = []
+    for query_id in QUERY_IDS:
+        row = [query_id]
+        for strategy in STRATEGIES:
+            row.append(format_seconds(_measured[(query_id, strategy)]))
+        rows.append(row)
+    title = (
+        "Figure 9 — lookup time for the answering view set "
+        f"({env.view_count} materialized views)"
+    )
+    write_results("fig9_lookup", ["query"] + STRATEGIES, rows, title)

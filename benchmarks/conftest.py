@@ -1,0 +1,62 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE``  — XMark document scale (default 4.0, ≈24k
+  element nodes).  The paper used a 56.2 MB document; push this up to
+  approach that regime.
+* ``REPRO_BENCH_VIEWS``  — materialized views for the Figure 8/9
+  experiments (default 600; paper: 1000).
+* ``REPRO_BENCH_SETS``   — comma-separated view-set sizes for the
+  VFILTER experiments (default ``1000,...,8000`` as in the paper).
+* ``REPRO_BENCH_UTILITY_QUERIES`` — probe queries for the Figure 10
+  utility measurement (default 25; paper: 1000).
+
+Every figure benchmark also writes its series table to
+``benchmarks/results/<figure>.txt`` so results survive pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import build_environment, build_view_patterns
+from repro.bench.report import format_table
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "4.0"))
+BENCH_VIEWS = int(os.environ.get("REPRO_BENCH_VIEWS", "600"))
+BENCH_SETS = [
+    int(part)
+    for part in os.environ.get(
+        "REPRO_BENCH_SETS", "1000,2000,3000,4000,5000,6000,7000,8000"
+    ).split(",")
+]
+UTILITY_QUERIES = int(os.environ.get("REPRO_BENCH_UTILITY_QUERIES", "25"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def env():
+    """The Figure 8/9 environment: document + materialized views."""
+    return build_environment(scale=BENCH_SCALE, view_count=BENCH_VIEWS, seed=42)
+
+
+@pytest.fixture(scope="session")
+def view_sets():
+    """Nested view sets V_1 ⊂ … ⊂ V_8 for the VFILTER experiments."""
+    largest = build_view_patterns(max(BENCH_SETS), scale=0.25, seed=7)
+    return {count: largest[:count] for count in BENCH_SETS}
+
+
+def write_results(name: str, headers, rows, title: str) -> str:
+    """Render, persist and return a figure's series table."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    table = format_table(headers, rows, title)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(table + "\n")
+    print("\n" + table)
+    return table

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""View advisor: diagnose WHY a query is not answerable, and fix it.
+
+Uses the library's answerability machinery interactively: when a query
+cannot be answered from the current views, the
+:class:`~repro.errors.ViewNotAnswerableError` carries the uncovered
+obligations (query leaves / Δ), from which the advisor proposes a
+minimal additional view, registers it, and retries — the workflow a
+DBA tool would build on top of this library.
+
+Run:  python examples/view_advisor.py
+"""
+
+from repro import MaterializedViewSystem, ViewNotAnswerableError, parse_xpath
+from repro.core.leaf_cover import DELTA
+from repro.workload import generate_xmark_document
+
+
+def propose_view(query_expression: str, uncovered) -> str:
+    """Propose a view covering the uncovered obligations.
+
+    Strategy: if Δ is uncovered, materialize the query's own answer
+    path; otherwise cover the first uncovered leaf with the
+    root-to-leaf path that reaches it, re-anchored at the query answer's
+    parent so the new view joins with the existing ones.
+    """
+    query = parse_xpath(query_expression)
+    labels = {str(obligation) for obligation in uncovered}
+    if DELTA in labels:
+        # Materialize the whole query — always sufficient.
+        return query_expression
+    # Cover one leaf: the path from the root to it, answering at the
+    # query's answer node so the view also provides the join anchor.
+    target = next(o for o in uncovered)
+    for leaf in query.leaves():
+        if str(target) == leaf.label:
+            spine = leaf.root_path()
+            steps = "".join(f"{n.axis.value}{n.label}" for n in spine[1:])
+            anchor = spine[0]
+            answer_steps = "".join(
+                f"{n.axis.value}{n.label}"
+                for n in query.ret.root_path()[1:]
+            )
+            return (
+                f"{anchor.axis.value}{anchor.label}"
+                f"[{steps.lstrip('/') if not steps.startswith('//') else '.' + steps}]"
+                f"{answer_steps}"
+            )
+    return query_expression
+
+
+def main() -> None:
+    document = generate_xmark_document(scale=1.0, seed=3)
+    system = MaterializedViewSystem(document)
+    # A deliberately thin starting pool.
+    system.register_view("base1", "//open_auction[seller]/annotation")
+    system.register_view("base2", "//person/name")
+
+    wanted = [
+        "//open_auction[seller]/annotation",            # answerable already
+        "//open_auction[seller][quantity]/annotation",  # needs one more view
+        "//person[profile/age]/name",                   # needs one more view
+    ]
+
+    for expression in wanted:
+        print(f"\nquery: {expression}")
+        for attempt in range(1, 4):
+            try:
+                outcome = system.answer(expression, "HV")
+            except ViewNotAnswerableError as error:
+                missing = sorted(str(o) for o in error.uncovered) or ["Δ"]
+                proposal = propose_view(expression, error.uncovered)
+                view_id = f"advised{len(system.materialized_views())}"
+                print(f"  attempt {attempt}: uncovered {missing}; "
+                      f"advising view {proposal!r}")
+                system.register_view(view_id, proposal)
+                continue
+            assert outcome.codes == system.direct_codes(expression)
+            print(f"  answered with {outcome.view_ids} "
+                  f"({len(outcome.codes)} answers) ✓")
+            break
+        else:  # pragma: no cover - advisor failed to converge
+            raise SystemExit("advisor did not converge")
+
+
+if __name__ == "__main__":
+    main()

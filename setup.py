@@ -1,0 +1,8 @@
+"""Thin shim so legacy editable installs work in offline environments
+that lack the ``wheel`` package (``pip install -e . --no-use-pep517``).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Standard benchmark workloads: the paper's Table III analogue.
+
+The paper extracts four XMark test queries: ``Q1`` answered by one view,
+``Q2`` and ``Q3`` by two views each, ``Q4`` by three.  The XMark-shaped
+equivalents below pair each query with the *seed views* that answer it;
+the seed views are registered before the large random view population so
+that every test query is answerable exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TEST_QUERIES", "SEED_VIEWS", "TABLE_I_VIEWS", "TABLE_I_QUERY"]
+
+#: Table III analogue: id → (XPath, number of views expected to answer).
+TEST_QUERIES: dict[str, tuple[str, int]] = {
+    # Answered by the single equivalent view W1.
+    "Q1": ("//open_auction[initial]/bidder/increase", 1),
+    # Needs W2a (location branch) + W2b (quantity branch).
+    "Q2": ("//item[location][quantity]/description", 2),
+    # Needs W3a (address branch) + W3b (age reachable under profile).
+    "Q3": ("//person[address/city][profile/age]/name", 2),
+    # Needs W4a + W4b + W4c (three independent branches).
+    "Q4": ("//open_auction[seller][quantity][interval/start]/annotation", 3),
+}
+
+#: Views that make the test queries answerable (registered first).
+SEED_VIEWS: dict[str, str] = {
+    "W1": "//open_auction[initial]/bidder/increase",
+    "W2a": "//item[location]/description",
+    "W2b": "//item[quantity]/description",
+    "W3a": "//person[address/city]/name",
+    "W3b": "//person[profile/age]/name",
+    "W4a": "//open_auction[seller]/annotation",
+    "W4b": "//open_auction[quantity]/annotation",
+    "W4c": "//open_auction[interval/start]/annotation",
+}
+
+#: The paper's Table I worked example (Section III), book.xml alphabet.
+TABLE_I_VIEWS: dict[str, str] = {
+    "V1": "s[t]/p",
+    "V2": "s[.//f]/p",
+    "V3": "s//*/t",
+    "V4": "s[p]/f",
+}
+
+#: The running example query of Sections III-V.
+TABLE_I_QUERY = "s[f//i][t]/p"

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small operational surface over the library, useful for poking at the
+system without writing code:
+
+* ``generate``  — write an XMark-like document to a file.
+* ``answer``    — load a document, register views, answer a query with
+  a chosen strategy (and optionally cross-check against direct
+  evaluation).
+* ``filter``    — show VFILTER candidates and ``LIST(P_i)`` for a query
+  against a list of view definitions.
+* ``explain``   — print leaf covers and obligations for views vs a query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import __version__
+from .core.leaf_cover import leaf_cover_labels, obligations_of
+from .core.system import MaterializedViewSystem
+from .core.vfilter import VFilter
+from .core.view import View
+from .errors import ReproError
+from .workload.xmark import generate_xmark
+from .xmltree.builder import encode_tree
+from .xmltree.dewey import format_code
+from .xmltree.parser import parse_xml_file
+from .xmltree.serializer import serialize
+from .xpath.parser import parse_xpath
+
+__all__ = ["main"]
+
+
+def _load_views(arguments: argparse.Namespace) -> dict[str, str]:
+    """Views from ``--view id=expr`` options and/or a ``--views`` file
+    with ``id <whitespace> expression`` lines (# comments allowed)."""
+    views: dict[str, str] = {}
+    for item in arguments.view or []:
+        if "=" not in item:
+            raise SystemExit(f"--view expects id=expression, got {item!r}")
+        view_id, _, expression = item.partition("=")
+        views[view_id.strip()] = expression.strip()
+    if arguments.views:
+        with open(arguments.views, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split(None, 1)
+                if len(parts) != 2:
+                    raise SystemExit(f"bad view line: {line!r}")
+                views[parts[0]] = parts[1]
+    if not views:
+        raise SystemExit("no views given; use --view ID=EXPR or --views FILE")
+    return views
+
+
+def _build_system(arguments: argparse.Namespace) -> MaterializedViewSystem:
+    if arguments.document:
+        tree = parse_xml_file(arguments.document)
+    else:
+        tree = generate_xmark(scale=arguments.scale, seed=arguments.seed)
+    document = encode_tree(tree)
+    system = MaterializedViewSystem(document)
+    for view_id, expression in _load_views(arguments).items():
+        fitted = system.register_view(view_id, expression)
+        if not fitted:
+            print(f"note: view {view_id} exceeds the fragment cap; excluded",
+                  file=sys.stderr)
+    return system
+
+
+def _cmd_generate(arguments: argparse.Namespace) -> int:
+    tree = generate_xmark(scale=arguments.scale, seed=arguments.seed)
+    payload = serialize(tree, indent=1 if arguments.pretty else None)
+    with open(arguments.output, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    print(f"wrote {tree.size()} elements to {arguments.output}")
+    return 0
+
+
+def _cmd_answer(arguments: argparse.Namespace) -> int:
+    system = _build_system(arguments)
+    started = time.perf_counter()
+    outcome = system.answer(arguments.query, arguments.strategy)
+    elapsed = time.perf_counter() - started
+    print(f"strategy : {outcome.strategy}")
+    print(f"views    : {outcome.view_ids}")
+    print(f"answers  : {len(outcome.codes)} "
+          f"({elapsed * 1e3:.2f} ms total, "
+          f"{outcome.lookup_seconds * 1e3:.2f} ms lookup)")
+    for code in outcome.codes[: arguments.limit]:
+        print(f"  {format_code(code)}")
+    if len(outcome.codes) > arguments.limit:
+        print(f"  ... {len(outcome.codes) - arguments.limit} more")
+    if arguments.check:
+        truth = system.direct_codes(arguments.query)
+        status = "OK" if truth == outcome.codes else "MISMATCH"
+        print(f"direct-evaluation check: {status}")
+        return 0 if status == "OK" else 2
+    return 0
+
+
+def _cmd_filter(arguments: argparse.Namespace) -> int:
+    vfilter = VFilter()
+    for view_id, expression in _load_views(arguments).items():
+        vfilter.add_view(View.from_xpath(view_id, expression))
+    query = parse_xpath(arguments.query)
+    result = vfilter.filter(query)
+    print(f"candidates ({len(result.candidates)}): {result.candidates}")
+    for path, entries in result.lists.items():
+        print(f"LIST({path.to_xpath()}) = {entries}")
+    return 0
+
+
+def _cmd_explain(arguments: argparse.Namespace) -> int:
+    query = parse_xpath(arguments.query)
+    if arguments.document or arguments.full:
+        # Full diagnostics need materialized fragments.
+        from .core.explain import explain_query
+
+        system = _build_system(arguments)
+        explanation = explain_query(system, query)
+        print(explanation.render())
+        return 0 if explanation.answerable else 3
+    print(f"query: {query.to_xpath(mark_answer=True)}")
+    print("obligations:",
+          sorted(str(obligation) for obligation in obligations_of(query)))
+    for view_id, expression in _load_views(arguments).items():
+        view = View.from_xpath(view_id, expression)
+        covered = sorted(leaf_cover_labels(view, query))
+        print(f"  LC({view_id}: {expression}) = {covered}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multiple materialized view selection for XPath "
+                    "query rewriting (ICDE 2008 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="write an XMark-like document")
+    generate.add_argument("output")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--pretty", action="store_true")
+    generate.set_defaults(handler=_cmd_generate)
+
+    def add_common(sub: argparse.ArgumentParser, with_document: bool) -> None:
+        sub.add_argument("query", help="XPath query in XP{/, //, *, []}")
+        sub.add_argument("--view", action="append", metavar="ID=EXPR")
+        sub.add_argument("--views", metavar="FILE",
+                         help="file of 'id expression' lines")
+        if with_document:
+            sub.add_argument("--document", metavar="XML",
+                             help="XML file (default: generated XMark)")
+            sub.add_argument("--scale", type=float, default=1.0)
+            sub.add_argument("--seed", type=int, default=42)
+
+    answer = commands.add_parser("answer", help="answer a query from views")
+    add_common(answer, with_document=True)
+    answer.add_argument("--strategy", choices=("HV", "MV", "MN", "CB"),
+                        default="HV")
+    answer.add_argument("--limit", type=int, default=10,
+                        help="answers to print (default 10)")
+    answer.add_argument("--check", action="store_true",
+                        help="cross-check against direct evaluation")
+    answer.set_defaults(handler=_cmd_answer)
+
+    filter_ = commands.add_parser("filter", help="show VFILTER candidates")
+    add_common(filter_, with_document=False)
+    filter_.set_defaults(handler=_cmd_filter)
+
+    explain = commands.add_parser("explain", help="show leaf covers")
+    add_common(explain, with_document=True)
+    explain.add_argument(
+        "--full", action="store_true",
+        help="materialize the views and show full selection diagnostics",
+    )
+    explain.set_defaults(handler=_cmd_explain)
+
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

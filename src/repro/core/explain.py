@@ -1,0 +1,130 @@
+"""Structured explanation of how a query would be answered.
+
+:func:`explain_query` runs the filtering/selection pipeline without
+rewriting and reports every intermediate artifact — what a DBA tool (or
+the ``repro explain`` CLI) needs to answer "why was this view (not)
+used?" and "why is this query unanswerable?":
+
+* the query's decomposed paths and obligation set,
+* VFILTER candidates and the per-path ``LIST(P_i)``,
+* per-candidate leaf covers, anchors and fragment statistics,
+* the selection each strategy would make (or the uncovered obligations
+  when unanswerable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ViewNotAnswerableError
+from ..xpath.pattern import TreePattern
+from .leaf_cover import coverage_units, obligations_of
+from .selection import select_heuristic, select_minimum
+from .system import MaterializedViewSystem
+
+__all__ = ["QueryExplanation", "ViewExplanation", "explain_query"]
+
+
+@dataclass(slots=True)
+class ViewExplanation:
+    """One candidate view's role for the query."""
+
+    view_id: str
+    xpath: str
+    leaf_cover: list[str]
+    anchors: list[str]
+    provides_delta: bool
+    fragment_count: int
+    fragment_bytes: int
+
+
+@dataclass(slots=True)
+class QueryExplanation:
+    """Everything the lookup phase knows about a query."""
+
+    query: str
+    paths: list[str]
+    obligations: list[str]
+    candidates: list[ViewExplanation] = field(default_factory=list)
+    filtered_view_count: int = 0
+    selections: dict[str, list[str]] = field(default_factory=dict)
+    uncovered: list[str] = field(default_factory=list)
+
+    @property
+    def answerable(self) -> bool:
+        return bool(self.selections)
+
+    def render(self) -> str:
+        """Human-readable multi-line rendering (used by the CLI)."""
+        lines = [f"query       : {self.query}"]
+        lines.append(f"paths D(Q)  : {self.paths}")
+        lines.append(f"obligations : {self.obligations}")
+        lines.append(
+            f"candidates  : {len(self.candidates)} "
+            f"(filtered out {self.filtered_view_count})"
+        )
+        for view in self.candidates:
+            delta = " Δ" if view.provides_delta else ""
+            lines.append(
+                f"  {view.view_id}: {view.xpath}  "
+                f"LC={view.leaf_cover}{delta}  "
+                f"[{view.fragment_count} fragments, {view.fragment_bytes} B]"
+            )
+        if self.selections:
+            for strategy, view_ids in self.selections.items():
+                lines.append(f"selection {strategy}: {view_ids}")
+        else:
+            lines.append(f"UNANSWERABLE — uncovered: {self.uncovered}")
+        return "\n".join(lines)
+
+
+def explain_query(
+    system: MaterializedViewSystem, query: TreePattern
+) -> QueryExplanation:
+    """Run filtering + selection diagnostics for ``query``."""
+    filter_result = system.vfilter.filter(query)
+    explanation = QueryExplanation(
+        query=query.to_xpath(mark_answer=True),
+        paths=[path.to_xpath() for path in filter_result.query_paths],
+        obligations=sorted(
+            str(obligation) for obligation in obligations_of(query)
+        ),
+        filtered_view_count=system.view_count - len(filter_result.candidates),
+    )
+
+    for view_id in filter_result.candidates:
+        view = system.view(view_id)
+        units = coverage_units(view, query)
+        covered = sorted(
+            {str(obligation) for unit in units for obligation in unit.covered}
+        )
+        anchors = [unit.anchor.label for unit in units]
+        explanation.candidates.append(
+            ViewExplanation(
+                view_id=view_id,
+                xpath=view.to_xpath(),
+                leaf_cover=covered,
+                anchors=anchors,
+                provides_delta=any(unit.provides_delta for unit in units),
+                fragment_count=system.fragments.fragment_count(view_id),
+                fragment_bytes=system.fragments.fragment_bytes(view_id),
+            )
+        )
+
+    candidates = [system.view(view_id) for view_id in filter_result.candidates]
+    try:
+        minimum = select_minimum(
+            candidates, query, system.fragments.fragment_bytes
+        )
+        explanation.selections["MV"] = minimum.view_ids
+    except ViewNotAnswerableError as error:
+        explanation.uncovered = sorted(str(o) for o in error.uncovered)
+        return explanation
+    heuristic = select_heuristic(
+        filter_result,
+        system.view,
+        query,
+        system.fragments.fragment_bytes,
+    )
+    explanation.selections["HV"] = heuristic.view_ids
+    return explanation

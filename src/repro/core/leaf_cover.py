@@ -1,0 +1,247 @@
+"""Leaf cover and query answerability (paper Section IV-A).
+
+``LF(Q) = LEAF(Q) ∪ {Δ}`` is the *obligation set* of a query: every
+leaf's root-to-leaf predicate must be verified, and the answer itself
+(``Δ``) must be extractable from some view.  Attribute constraints add
+one obligation per constraint-bearing node (paper Section V,
+"Handling comparison predicates").
+
+For a view ``V`` and query ``Q``, coverage is computed per *anchor*: a
+query node ``x`` that ``RET(V)`` can map to under some root-preserving
+homomorphism ``h : V → Q`` (:func:`repro.matching.feasible_anchors`).
+The unit ``(V, x)`` covers:
+
+* ``Δ`` — when ``x`` is an ancestor-or-self of ``RET(Q)``: the query's
+  answers then live inside ``V``'s fragments rooted at instances of
+  ``x``;
+* every obligation at a node that is a descendant-or-self of ``x`` —
+  those predicates are *checked* on the materialized fragments by the
+  compensating query;
+* every obligation *implied* by the view's own definition through a
+  **pinned** spine node: walking up from ``RET(V)`` through ``/``-edges
+  only, the view node ``v_k`` at offset ``k`` is instantiated at exactly
+  the fragment root's ``k``-th ancestor, which the join equates with the
+  query node ``u_k`` (``x``'s ``k``-th ancestor, a ``/``-chain forced by
+  ``h``).  An obligation below ``u_k`` is implied when the query chain
+  ``u_k → n`` has an anchored homomorphism into ``V``'s subtree at
+  ``v_k``; an attribute obligation at ``u_k`` itself when its
+  constraints all appear on ``v_k``.  (See DESIGN.md §4 for why pinning
+  is required for soundness.)
+
+**Criterion** (paper): a view set answers ``Q`` iff the union of its
+units' coverage equals the obligation set and some unit provides ``Δ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..matching.homomorphism import (
+    branch_maps_into,
+    constraints_subsume,
+    feasible_anchors,
+    feasible_pairs,
+)
+from ..xpath.ast import Axis
+from ..xpath.pattern import PatternNode, TreePattern
+from .view import View
+
+__all__ = [
+    "DELTA",
+    "Obligation",
+    "CoverageUnit",
+    "obligations_of",
+    "coverage_units",
+    "view_coverage",
+    "leaf_cover_labels",
+    "covers_query",
+]
+
+#: Pretty symbol for the answer obligation, as printed in the paper.
+DELTA = "Δ"
+
+
+@dataclass(frozen=True, slots=True)
+class Obligation:
+    """One thing a view set must account for.
+
+    ``kind`` is ``"delta"``, ``"leaf"`` or ``"attrs"``; ``node_id`` is
+    the ``id()`` of the query pattern node (0 for ``delta``);
+    ``label`` is presentation-only.
+    """
+
+    kind: str
+    node_id: int
+    label: str
+
+    def __str__(self) -> str:
+        if self.kind == "delta":
+            return DELTA
+        if self.kind == "attrs":
+            return f"@{self.label}"
+        return self.label
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageUnit:
+    """One usable (view, anchor) pair with its coverage.
+
+    ``anchor`` is the query node ``h(RET(view))``; ``covered`` the
+    obligations this unit accounts for; ``provides_delta`` whether the
+    query answer is extractable from this unit's fragments.
+    """
+
+    view: View
+    anchor: PatternNode
+    covered: frozenset[Obligation]
+    provides_delta: bool
+
+
+def obligations_of(query: TreePattern) -> frozenset[Obligation]:
+    """Return ``LF(Q)`` extended with attribute obligations."""
+    items: list[Obligation] = [Obligation("delta", 0, DELTA)]
+    for node in query.iter_nodes():
+        if node.is_leaf():
+            items.append(Obligation("leaf", id(node), node.label))
+        if node.constraints:
+            items.append(Obligation("attrs", id(node), node.label))
+    return frozenset(items)
+
+
+def _pinned_chain(view: View) -> list[PatternNode]:
+    """View spine nodes reaching ``RET(V)`` through ``/``-edges only:
+    ``[v_0 = RET(V), v_1, ..., v_K]`` (offset = index)."""
+    chain = [view.pattern.ret]
+    node = view.pattern.ret
+    while node.axis is Axis.CHILD and node.parent is not None:
+        node = node.parent
+        chain.append(node)
+    return chain
+
+
+def _query_chain_up(anchor: PatternNode, offset: int) -> PatternNode | None:
+    """``anchor``'s ancestor at exactly ``offset`` ``/``-steps, or None."""
+    node = anchor
+    for _ in range(offset):
+        if node.axis is not Axis.CHILD or node.parent is None:
+            return None
+        node = node.parent
+    return node
+
+
+def coverage_for_anchor(
+    view: View, query: TreePattern, anchor: PatternNode
+) -> CoverageUnit:
+    """Compute the coverage of one ``(view, anchor)`` unit."""
+    covered: set[Obligation] = set()
+    provides_delta = anchor.is_ancestor_or_self_of(query.ret)
+    if provides_delta:
+        covered.add(Obligation("delta", 0, DELTA))
+
+    obligations = obligations_of(query)
+    by_node: dict[int, list[Obligation]] = {}
+    for obligation in obligations:
+        if obligation.kind != "delta":
+            by_node.setdefault(obligation.node_id, []).append(obligation)
+
+    node_index = {id(node): node for node in query.iter_nodes()}
+
+    # Fragment-checkable obligations: nodes under (or at) the anchor.
+    for node_id, node_obligations in by_node.items():
+        node = node_index[node_id]
+        if anchor.is_ancestor_or_self_of(node):
+            covered.update(node_obligations)
+
+    # Pinned implication through the view's /-suffix spine.  At each
+    # pinned offset the query node u_k is join-fixed to the fragment
+    # root's k-th ancestor; a *whole* query branch hanging off u_k that
+    # embeds into the view's subtree at v_k is guaranteed by the view's
+    # definition — the entire branch at once, so obligations sharing an
+    # intermediate node always get a single consistent witness.
+    pinned = _pinned_chain(view)
+    descent: PatternNode | None = None  # child of u_k on the path to x
+    for offset, view_node in enumerate(pinned):
+        query_node = _query_chain_up(anchor, offset)
+        if query_node is None:
+            break
+        # Attribute obligation at the pinned query node itself.
+        for obligation in by_node.get(id(query_node), []):
+            if obligation.kind == "attrs" and constraints_subsume(
+                query_node, view_node
+            ):
+                covered.add(obligation)
+        # Whole branches hanging off u_k (except the one descending to
+        # the anchor — its contents are handled at lower offsets or by
+        # the fragment check).
+        for branch in query_node.children:
+            if branch is descent:
+                continue
+            if branch_maps_into(branch, view_node):
+                for node_id, node_obligations in by_node.items():
+                    node = node_index[node_id]
+                    if branch.is_ancestor_or_self_of(node):
+                        covered.update(node_obligations)
+        descent = query_node
+
+    return CoverageUnit(view, anchor, frozenset(covered), provides_delta)
+
+
+def coverage_units(view: View, query: TreePattern) -> list[CoverageUnit]:
+    """All usable units of ``view`` for ``query`` (one per anchor).
+
+    Empty when no homomorphism ``view → query`` exists — the view
+    cannot participate in answering ``query`` at all.
+
+    Mutual-containment shortcut: when additionally ``V ⊑ Q`` with
+    answer correspondence (a homomorphism ``Q → V`` mapping ``RET(Q)``
+    onto ``RET(V)``), the two answer sets are provably equal, so the
+    unit anchored at ``RET(Q)`` covers *every* obligation — even
+    predicates the pinning rule alone could not certify.  This makes
+    every view answer itself (and any equivalent spelling of itself).
+    """
+    anchors = feasible_anchors(view.pattern, query)
+    if not anchors:
+        return []
+    mutually_contained = any(
+        target is view.pattern.ret
+        for target in feasible_pairs(query, view.pattern).get(
+            id(query.ret), []
+        )
+    )
+    units = []
+    for anchor in anchors:
+        if mutually_contained and anchor is query.ret:
+            units.append(
+                CoverageUnit(view, anchor, obligations_of(query), True)
+            )
+            continue
+        unit = coverage_for_anchor(view, query, anchor)
+        if unit.covered:
+            units.append(unit)
+    return units
+
+
+def view_coverage(view: View, query: TreePattern) -> frozenset[Obligation]:
+    """``LC(V, Q)`` — union of this view's unit coverages."""
+    covered: set[Obligation] = set()
+    for unit in coverage_units(view, query):
+        covered.update(unit.covered)
+    return frozenset(covered)
+
+
+def leaf_cover_labels(view: View, query: TreePattern) -> set[str]:
+    """``LC(V, Q)`` in the paper's presentation, e.g. ``{'Δ', 't', 'p'}``."""
+    return {str(obligation) for obligation in view_coverage(view, query)}
+
+
+def covers_query(
+    units: list[CoverageUnit], query: TreePattern
+) -> bool:
+    """The paper's criterion: ``∪ LC = LF(Q)`` with a Δ provider."""
+    needed = obligations_of(query)
+    covered: set[Obligation] = set()
+    has_delta = False
+    for unit in units:
+        covered.update(unit.covered)
+        has_delta = has_delta or unit.provides_delta
+    return has_delta and needed <= covered

@@ -1,0 +1,231 @@
+"""View maintenance under base-data updates.
+
+The paper materializes views once; a production deployment also needs
+them to survive inserts and deletes on the base document.  This module
+provides *selective re-materialization*: after a subtree insert or
+delete, only the views whose patterns could possibly touch the changed
+region are re-evaluated.
+
+The affected-view test is a sound over-approximation: a view's result
+set can change only if some embedding of its pattern maps a pattern
+node onto a changed node, which requires a pattern node whose label
+subsumes some changed node's label.  Views failing that test keep their
+fragments untouched; the rest are dropped and re-materialized (their
+definitions are tiny, the fragments capped at 128 KiB — the paper's own
+bound on re-materialization cost).
+
+Extended Dewey codes make both operations cheap on the encoding side:
+
+* **insert** appends the new subtree as the parent's last child, so the
+  new components extend the sibling sequence and *no existing code
+  changes*;
+* **delete** removes codes without renumbering (components are sparse
+  by construction).
+
+Inserts whose labels violate the mined schema (a parent/child pair the
+document has never contained) fall back to a full re-encode +
+re-materialization, since the FST alphabet itself changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EncodingError, SchemaError
+from ..matching.evaluate import evaluate
+from ..matching.homomorphism import label_subsumes
+from ..xmltree.builder import encode_tree
+from ..xmltree.dewey import DeweyCode, assign_child_component, is_prefix
+from ..xmltree.tree import XMLNode
+from .system import MaterializedViewSystem
+from .vfilter import VFilter
+
+__all__ = ["MaintenanceReport", "DocumentEditor"]
+
+
+@dataclass(slots=True)
+class MaintenanceReport:
+    """What one update did."""
+
+    operation: str
+    changed_nodes: int
+    affected_views: list[str] = field(default_factory=list)
+    skipped_views: list[str] = field(default_factory=list)
+    full_reencode: bool = False
+
+
+class DocumentEditor:
+    """Apply base-document updates and keep materialized views fresh."""
+
+    def __init__(self, system: MaterializedViewSystem):
+        self.system = system
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+    def insert_subtree(
+        self, parent_code: DeweyCode, subtree: XMLNode
+    ) -> MaintenanceReport:
+        """Attach ``subtree`` as the last child of the node at
+        ``parent_code`` and refresh affected views."""
+        document = self.system.document
+        parent = document.node_by_code(parent_code)
+        if parent is None:
+            raise EncodingError(f"no node at code {parent_code}")
+        if subtree.parent is not None:
+            raise ValueError("subtree is already attached")
+
+        schema_ok = self._schema_admits(parent, subtree)
+        parent.add_child(subtree)
+        if schema_ok:
+            self._encode_new_subtree(parent, subtree)
+            self._invalidate_document()
+        else:
+            # New parent/child label pairs: the schema (and with it
+            # every code) must be rebuilt.
+            self._full_reencode()
+
+        changed_labels = {node.label for node in subtree.iter_subtree()}
+        assert subtree.dewey is not None or not schema_ok
+        target = subtree.dewey if schema_ok else None
+        report = self._refresh_views(
+            "insert", changed_labels, subtree.subtree_size(),
+            target_code=target, force_all=not schema_ok,
+        )
+        report.full_reencode = not schema_ok
+        return report
+
+    def delete_subtree(self, code: DeweyCode) -> MaintenanceReport:
+        """Remove the subtree rooted at ``code`` and refresh affected
+        views.  The document root cannot be deleted."""
+        document = self.system.document
+        node = document.node_by_code(code)
+        if node is None:
+            raise EncodingError(f"no node at code {code}")
+        if node.parent is None:
+            raise ValueError("cannot delete the document root")
+        changed_labels = {child.label for child in node.iter_subtree()}
+        size = node.subtree_size()
+        node.detach()
+        self._invalidate_document()
+        return self._refresh_views(
+            "delete", changed_labels, size, target_code=code
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _schema_admits(self, parent: XMLNode, subtree: XMLNode) -> bool:
+        schema = self.system.document.schema
+        try:
+            schema.child_position(parent.label, subtree.label)
+            for node in subtree.iter_subtree():
+                for child in node.children:
+                    schema.child_position(node.label, child.label)
+        except SchemaError:
+            return False
+        return True
+
+    def _encode_new_subtree(self, parent: XMLNode, subtree: XMLNode) -> None:
+        """Assign codes to the appended subtree (existing codes keep)."""
+        schema = self.system.document.schema
+        siblings = parent.children
+        previous = (
+            siblings[-2].dewey[-1] if len(siblings) > 1 else None
+        )
+        assert parent.dewey is not None
+        component = assign_child_component(
+            schema, parent.label, subtree.label, previous
+        )
+        subtree.dewey = parent.dewey + (component,)
+        stack = [subtree]
+        while stack:
+            current = stack.pop()
+            last: int | None = None
+            for child in current.children:
+                assert current.dewey is not None
+                child_component = assign_child_component(
+                    schema, current.label, child.label, last
+                )
+                last = child_component
+                child.dewey = current.dewey + (child_component,)
+                stack.append(child)
+
+    def _full_reencode(self) -> None:
+        document = self.system.document
+        fresh = encode_tree(document.tree)
+        document.schema = fresh.schema
+        document.fst = fresh.fst
+        self._invalidate_document()
+
+    def _invalidate_document(self) -> None:
+        document = self.system.document
+        document.tree.invalidate_indexes()
+        document.invalidate()
+        # Base-data indexes are stale too.
+        self.system._node_index = None
+        self.system._path_index = None
+
+    def _refresh_views(
+        self,
+        operation: str,
+        changed_labels: set[str],
+        changed_nodes: int,
+        target_code: DeweyCode | None = None,
+        force_all: bool = False,
+    ) -> MaintenanceReport:
+        report = MaintenanceReport(operation, changed_nodes)
+        system = self.system
+        capped: list[str] = []
+        for view in list(system.materialized_views()):
+            touched = force_all or self._view_touched(
+                view, changed_labels, target_code
+            )
+            if not touched:
+                report.skipped_views.append(view.view_id)
+                continue
+            report.affected_views.append(view.view_id)
+            system.fragments.drop(view.view_id)
+            answers = evaluate(view.pattern, system.document.tree)
+            fits = system.fragments.materialize(
+                view.view_id,
+                [(n.dewey, n) for n in answers if n.dewey is not None],
+            )
+            if not fits:
+                capped.append(view.view_id)
+        if capped:
+            # Views that outgrew the cap leave the answerable pool; the
+            # filter is rebuilt over the remaining ones.
+            system._materialized = [
+                view
+                for view in system._materialized
+                if view.view_id not in set(capped)
+            ]
+            fresh = VFilter(
+                attribute_pruning=system.vfilter.attribute_pruning
+            )
+            fresh.add_views(system._materialized)
+            system.vfilter = fresh
+        return report
+
+    def _view_touched(
+        self,
+        view,
+        changed_labels: set[str],
+        target_code: DeweyCode | None,
+    ) -> bool:
+        """Sound over-approximation of "this view's answers OR stored
+        fragments may have changed"."""
+        # (a) answer-set change requires a pattern node matching a
+        # changed node's label.
+        for node in view.pattern.iter_nodes():
+            for changed in changed_labels:
+                if label_subsumes(node.label, changed):
+                    return True
+        # (b) fragment-content change: some stored subtree contains the
+        # changed region (fragment root code prefixes the target code).
+        if target_code is not None:
+            for code in self.system.fragments.codes(view.view_id):
+                if is_prefix(code, target_code):
+                    return True
+        return False

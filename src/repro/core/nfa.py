@@ -1,0 +1,301 @@
+"""The NFA underlying VFILTER (paper Section III-B, Figure 5).
+
+States are integers; transitions come in three kinds, matching the
+paper's alphabet semantics ("``*`` matches any label but not the query
+axis; ``#`` can only match ``#``"):
+
+* ``EXACT(l)`` — consumes exactly the label token ``l`` (never the query
+  wildcard ``*`` and never ``#``): a view label is *less* general than a
+  query wildcard, so it must not match one.
+* ``STAR`` — consumes any token except ``#``: the view's ``*`` subsumes
+  every query label and the query's own ``*``.
+* ``ANY`` — consumes every token including ``#``: used on the loop
+  states that realize ``//``-edges and as the accepting self-loop (a
+  view path contains every query path extending one of its matches).
+
+Construction per normalized view path pattern:
+
+* step ``/l``  : ``q --EXACT(l)--> q'``
+* step ``/*``  : ``q --STAR--> q'``
+* step ``//l`` : ``q --EXACT(l)--> q'`` *and* ``q --ANY--> L(q)
+  --ANY--> L(q) --EXACT(l)--> q'`` where ``L(q)`` is the loop state of
+  ``q`` (one per source state, shared by all its ``//``-steps).  The
+  direct edge realizes the zero-intermediate case (``a//b ⊒ a/b``), the
+  loop any number of interposed query steps.
+* step ``//*`` : same shape with ``STAR`` exits.
+
+Descendant-step exits are tracked separately from child-step exits
+(``desc_exact``/``desc_star`` vs ``exact``/``star``): a ``//l`` step and
+a ``/l`` step from the same state must *not* share a target, otherwise
+a query reaching the shared state through the loop would wrongly
+continue along the ``/l`` pattern's suffix (``//l/x ⋢ /l/x``).
+
+Common prefixes share states, which is what keeps VFILTER's size
+sub-linear in the number of views (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..xpath.ast import Axis, WILDCARD
+from ..xpath.pattern import PathPattern
+from ..xpath.transform import DESCENDANT_TOKEN
+
+__all__ = ["PathNFA", "AcceptEntry"]
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptEntry:
+    """What an accepting state means: one view path pattern.
+
+    ``length`` is the number of labels of the view path — the ``l`` of
+    the paper's ``LIST(P_i)`` pairs.
+    """
+
+    view_id: str
+    path_index: int
+    length: int
+
+
+@dataclass(slots=True)
+class _State:
+    exact: dict[str, int] = field(default_factory=dict)
+    star: int | None = None
+    desc_exact: dict[str, int] = field(default_factory=dict)
+    desc_star: int | None = None
+    any_to: list[int] = field(default_factory=list)
+    #: ANY-advance target for gap units (wildcard runs with a //-edge):
+    #: consumes one token of any kind and moves forward (not a loop).
+    chain: int | None = None
+    accepts: list[AcceptEntry] = field(default_factory=list)
+    is_loop: bool = False
+
+
+class PathNFA:
+    """Prefix-sharing NFA over normalized view path patterns."""
+
+    def __init__(self) -> None:
+        self._states: list[_State] = [_State()]
+        self._loops: dict[int, int] = {}  # source state -> its loop state
+        self._transition_count = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _new_state(self) -> int:
+        self._states.append(_State())
+        return len(self._states) - 1
+
+    def _loop_of(self, state_id: int) -> int:
+        """Return (creating if needed) the loop state of ``state_id``."""
+        loop = self._loops.get(state_id)
+        if loop is None:
+            loop = self._new_state()
+            self._states[loop].is_loop = True
+            self._states[loop].any_to.append(loop)
+            self._states[state_id].any_to.append(loop)
+            self._loops[state_id] = loop
+            self._transition_count += 2
+        return loop
+
+    def _advance_child(self, state_id: int, label: str) -> int:
+        """Child-axis exit for ``label`` (created or shared)."""
+        state = self._states[state_id]
+        if label == WILDCARD:
+            if state.star is None:
+                state.star = self._new_state()
+                self._transition_count += 1
+            return state.star
+        target = state.exact.get(label)
+        if target is None:
+            target = self._new_state()
+            state.exact[label] = target
+            self._transition_count += 1
+        return target
+
+    def _advance_descendant(self, state_id: int, label: str) -> int:
+        """Descendant-axis exit: direct edge + loop edge, one target."""
+        loop_id = self._loop_of(state_id)
+        state = self._states[state_id]
+        loop = self._states[loop_id]
+        if label == WILDCARD:
+            if loop.star is None:
+                loop.star = self._new_state()
+                self._transition_count += 1
+            target = loop.star
+            if state.desc_star is None:
+                state.desc_star = target
+                self._transition_count += 1
+            return target
+        target = loop.exact.get(label)
+        if target is None:
+            target = self._new_state()
+            loop.exact[label] = target
+            self._transition_count += 1
+        if label not in state.desc_exact:
+            state.desc_exact[label] = target
+            self._transition_count += 1
+        return target
+
+    def _advance_any(self, state_id: int) -> int:
+        """ANY-advance exit (created or shared): one token of any kind."""
+        state = self._states[state_id]
+        if state.chain is None:
+            state.chain = self._new_state()
+            self._transition_count += 1
+        return state.chain
+
+    def insert(self, path: PathPattern, entry: AcceptEntry) -> None:
+        """Insert one normalized view path pattern.
+
+        Wildcard runs touching a ``//``-edge are inserted as *gap
+        units*: an all-wildcard run of ``n`` steps whose region (its own
+        edges plus the edge into the terminating label) contains a
+        ``//`` constrains only the *depth gap* — "the terminating label
+        sits ≥ n+1 levels below the anchor".  A per-step translation of
+        the normalized form under-accepts (the paper's front-pushed
+        ``/``-edges reject query ``//``-edges that containment allows),
+        so the unit becomes: ``n`` ANY-advances, then the ``//l``-style
+        fragment.  Counting a ``#`` token as an advance can only
+        over-accept (one more false positive), never under-accept: a
+        containment witness always supplies ≥ n+1 real steps.
+        """
+        steps = path.steps
+        current = 0
+        index = 0
+        while index < len(steps):
+            step = steps[index]
+            if step.label != WILDCARD:
+                if step.axis is Axis.DESCENDANT:
+                    current = self._advance_descendant(current, step.label)
+                else:
+                    current = self._advance_child(current, step.label)
+                index += 1
+                continue
+            # Maximal wildcard run [index, end).
+            end = index
+            while end < len(steps) and steps[end].label == WILDCARD:
+                end += 1
+            run = steps[index:end]
+            region = list(run)
+            terminal = steps[end] if end < len(steps) else None
+            if terminal is not None:
+                region.append(terminal)
+            # A trailing run is always a gap unit: k trailing wildcards
+            # assert only "a descendant ≥ k levels below" (l/* ≡ l//*).
+            if terminal is not None and not any(
+                s.axis is Axis.DESCENDANT for s in region
+            ):
+                # Exact-depth run: plain STAR advances.
+                for _ in run:
+                    current = self._advance_child(current, WILDCARD)
+                index = end
+                continue
+            # Gap unit: n ANY-advances, then the terminal as a
+            # descendant-style fragment (direct + loop).
+            if terminal is not None:
+                for _ in run:
+                    current = self._advance_any(current)
+                current = self._advance_descendant(current, terminal.label)
+                index = end + 1
+            else:
+                for _ in run[:-1]:
+                    current = self._advance_any(current)
+                current = self._advance_descendant(current, WILDCARD)
+                index = end
+        accepting = self._states[current]
+        if not accepting.accepts and current not in accepting.any_to:
+            # First acceptance here: the prefix-extension self-loop.
+            accepting.any_to.append(current)
+            self._transition_count += 1
+        accepting.accepts.append(entry)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _step(self, current: set[int], token: str) -> set[int]:
+        following: set[int] = set()
+        is_hash = token == DESCENDANT_TOKEN
+        for state_id in current:
+            state = self._states[state_id]
+            following.update(state.any_to)
+            if state.chain is not None:
+                following.add(state.chain)
+            if is_hash:
+                continue
+            if state.star is not None:
+                following.add(state.star)
+            if state.desc_star is not None:
+                following.add(state.desc_star)
+            target = state.exact.get(token)
+            if target is not None:
+                following.add(target)
+            target = state.desc_exact.get(token)
+            if target is not None:
+                following.add(target)
+        return following
+
+    def read(self, tokens: tuple[str, ...]) -> list[AcceptEntry]:
+        """Run ``δ(q0, tokens)`` and return the accept entries reached."""
+        current: set[int] = {0}
+        for token in tokens:
+            current = self._step(current, token)
+            if not current:
+                return []
+        entries: list[AcceptEntry] = []
+        for state_id in current:
+            entries.extend(self._states[state_id].accepts)
+        return entries
+
+    def reachable_states(self, tokens: tuple[str, ...]) -> set[int]:
+        """Return the raw state set ``δ(q0, tokens)`` (diagnostics and
+        the paper-walkthrough example)."""
+        current: set[int] = {0}
+        for token in tokens:
+            current = self._step(current, token)
+        return current
+
+    # ------------------------------------------------------------------
+    # introspection / sizing
+    # ------------------------------------------------------------------
+    @property
+    def state_count(self) -> int:
+        return len(self._states)
+
+    @property
+    def transition_count(self) -> int:
+        return self._transition_count
+
+    def accepting_states(self) -> dict[int, list[AcceptEntry]]:
+        return {
+            state_id: state.accepts
+            for state_id, state in enumerate(self._states)
+            if state.accepts
+        }
+
+    def stored_bytes(self) -> int:
+        """Serialized size estimate — the Figure 11 metric."""
+        total = 0
+        for state in self._states:
+            total += 8  # state header
+            for label in state.exact:
+                total += len(label.encode()) + 5
+            for label in state.desc_exact:
+                total += len(label.encode()) + 5
+            if state.star is not None:
+                total += 5
+            if state.desc_star is not None:
+                total += 5
+            total += 5 * len(state.any_to)
+            if state.chain is not None:
+                total += 5
+            for entry in state.accepts:
+                total += len(entry.view_id.encode()) + 10
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PathNFA states={self.state_count} "
+            f"transitions={self.transition_count}>"
+        )

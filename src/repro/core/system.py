@@ -1,0 +1,327 @@
+"""The full answering system (paper Figure 1).
+
+:class:`MaterializedViewSystem` ties every component together over one
+encoded document:
+
+* **register views** — evaluate each view on the base data once and
+  materialize its answer-node subtrees (with extended Dewey codes) into
+  the fragment store, subject to the 128 KiB per-view cap; insert its
+  decomposed path patterns into VFILTER.
+* **answer queries** — filter (VFILTER), select (MN / MV / HV), rewrite
+  (refine → holistic join → extract) using only materialized fragments
+  and encodings; or fall back to the BN / BF base-data baselines.
+
+This is the object the examples and benchmarks drive.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ViewNotAnswerableError
+from ..matching.evaluate import evaluate
+from ..storage.fragments import DEFAULT_FRAGMENT_CAP, FragmentStore
+from ..storage.index import FullPathIndex, NodeIndex
+from ..storage.kvstore import KVStore
+from ..xmltree.builder import EncodedDocument
+from ..xmltree.dewey import DeweyCode
+from ..xpath.parser import parse_xpath
+from ..xpath.pattern import TreePattern
+from .contained import ContainedResult, maximal_contained_rewriting
+from .rewrite import RewriteResult, rewrite
+from .selection import (
+    Selection,
+    select_cost_based,
+    select_heuristic,
+    select_minimum,
+)
+from .vfilter import FilterResult, VFilter
+from .view import View
+
+__all__ = ["AnswerOutcome", "MaterializedViewSystem"]
+
+#: Selection strategies accepted by :meth:`MaterializedViewSystem.answer`.
+_STRATEGIES = ("HV", "MV", "MN", "CB")
+
+
+@dataclass(slots=True)
+class AnswerOutcome:
+    """Everything about one answered query.
+
+    ``codes`` is the answer set; ``lookup_seconds`` covers filtering +
+    selection (the paper's Figure 9 metric), ``total_seconds`` the whole
+    pipeline (Figure 8).  ``selection`` / ``rewrite_result`` expose the
+    intermediate artifacts.
+    """
+
+    codes: list[DeweyCode]
+    strategy: str
+    selection: Selection | None = None
+    rewrite_result: RewriteResult | None = None
+    filter_result: FilterResult | None = None
+    lookup_seconds: float = 0.0
+    total_seconds: float = 0.0
+    candidates: list[str] = field(default_factory=list)
+
+    @property
+    def view_ids(self) -> list[str]:
+        return self.selection.view_ids if self.selection else []
+
+
+class MaterializedViewSystem:
+    """Answer XPath queries from multiple materialized views."""
+
+    def __init__(
+        self,
+        document: EncodedDocument,
+        fragment_cap: int = DEFAULT_FRAGMENT_CAP,
+        store: KVStore | None = None,
+    ):
+        self.document = document
+        self.vfilter = VFilter()
+        self.fragments = FragmentStore(store, cap_bytes=fragment_cap)
+        self._views: dict[str, View] = {}
+        self._materialized: list[View] = []
+        self._node_index: NodeIndex | None = None
+        self._path_index: FullPathIndex | None = None
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_view(self, view_id: str, expression: str | TreePattern) -> bool:
+        """Materialize a view; returns False when the 128 KiB cap was hit
+        (the view is then excluded from answering, as in the paper)."""
+        if isinstance(expression, TreePattern):
+            view = View(view_id, expression)
+        else:
+            view = View.from_xpath(view_id, expression)
+        if view.view_id in self._views:
+            raise ValueError(f"duplicate view id {view_id!r}")
+        answers = evaluate(view.pattern, self.document.tree)
+        entries = [
+            (node.dewey, node) for node in answers if node.dewey is not None
+        ]
+        fits = self.fragments.materialize(view_id, entries)
+        self._views[view_id] = view
+        self._persist_definition(view)
+        if fits:
+            self._materialized.append(view)
+            self.vfilter.add_view(view)
+        return fits
+
+    def register_views(self, expressions: dict[str, str]) -> list[str]:
+        """Register many views; returns the ids that materialized fully."""
+        return [
+            view_id
+            for view_id, expression in expressions.items()
+            if self.register_view(view_id, expression)
+        ]
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    _DEFINITION_PREFIX = b"d:"
+
+    def _persist_definition(self, view: View) -> None:
+        from ..storage.serialize import encode_text
+
+        key = self._DEFINITION_PREFIX + view.view_id.encode()
+        self.fragments.store.put(key, encode_text(view.to_xpath()))
+
+    @classmethod
+    def reopen(
+        cls,
+        document: EncodedDocument,
+        store: KVStore,
+        fragment_cap: int = DEFAULT_FRAGMENT_CAP,
+    ) -> "MaterializedViewSystem":
+        """Rebuild a system from a store written in an earlier session.
+
+        Fragments are *not* re-materialized: view definitions and
+        manifests are read back, VFILTER is reconstructed from the
+        definitions, and capped views stay excluded — the same state as
+        after the original ``register_view`` calls, minus the base-data
+        evaluation cost.
+        """
+        from ..storage.serialize import decode_text
+
+        system = cls(document, fragment_cap=fragment_cap, store=store)
+        definitions: dict[str, str] = {}
+        for key, value in store.scan_prefix(cls._DEFINITION_PREFIX):
+            view_id = key[len(cls._DEFINITION_PREFIX):].decode()
+            expression, _ = decode_text(value, 0)
+            definitions[view_id] = expression
+        for view_id in sorted(definitions):
+            view = View.from_xpath(view_id, definitions[view_id])
+            system._views[view_id] = view
+            if system.fragments.is_materialized(view_id):
+                system._materialized.append(view)
+                system.vfilter.add_view(view)
+        return system
+
+    @property
+    def view_count(self) -> int:
+        return len(self._materialized)
+
+    def view(self, view_id: str) -> View:
+        return self._views[view_id]
+
+    def materialized_views(self) -> list[View]:
+        return list(self._materialized)
+
+    # ------------------------------------------------------------------
+    # answering with views
+    # ------------------------------------------------------------------
+    def answer(
+        self, query: str | TreePattern, strategy: str = "HV"
+    ) -> AnswerOutcome:
+        """Answer ``query`` from materialized views.
+
+        ``strategy`` is ``"HV"`` (heuristic + VFILTER), ``"MV"``
+        (minimum + VFILTER), ``"MN"`` (minimum, no VFILTER) or ``"CB"``
+        (cost model + VFILTER, the extension the paper sketches).  Raises
+        :class:`~repro.errors.ViewNotAnswerableError` when the
+        materialized views cannot answer the query.
+        """
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; use {_STRATEGIES}")
+        pattern = parse_xpath(query) if isinstance(query, str) else query
+        started = time.perf_counter()
+
+        filter_result: FilterResult | None = None
+        if strategy == "MN":
+            selection = select_minimum(
+                self._materialized, pattern, self.fragments.fragment_bytes
+            )
+        else:
+            filter_result = self.vfilter.filter(pattern)
+            if strategy in ("MV", "CB"):
+                candidates = [
+                    self._views[view_id] for view_id in filter_result.candidates
+                ]
+                selector = select_minimum if strategy == "MV" else select_cost_based
+                selection = selector(
+                    candidates, pattern, self.fragments.fragment_bytes
+                )
+            else:
+                selection = select_heuristic(
+                    filter_result,
+                    self._views.__getitem__,
+                    pattern,
+                    self.fragments.fragment_bytes,
+                )
+        lookup_done = time.perf_counter()
+
+        result = rewrite(
+            selection,
+            pattern,
+            self.fragments,
+            self.document.schema,
+            self.document.fst,
+        )
+        finished = time.perf_counter()
+        return AnswerOutcome(
+            codes=result.codes,
+            strategy=strategy,
+            selection=selection,
+            rewrite_result=result,
+            filter_result=filter_result,
+            lookup_seconds=lookup_done - started,
+            total_seconds=finished - started,
+            candidates=filter_result.candidates if filter_result else [],
+        )
+
+    def try_answer(
+        self, query: str | TreePattern, strategy: str = "HV"
+    ) -> AnswerOutcome | None:
+        """Like :meth:`answer` but returns ``None`` when unanswerable."""
+        try:
+            return self.answer(query, strategy)
+        except ViewNotAnswerableError:
+            return None
+
+    # ------------------------------------------------------------------
+    # base-data baselines
+    # ------------------------------------------------------------------
+    def answer_bn(self, query: str | TreePattern) -> AnswerOutcome:
+        """BN: evaluate on base data with the basic node index."""
+        pattern = parse_xpath(query) if isinstance(query, str) else query
+        if self._node_index is None:
+            self._node_index = NodeIndex(self.document.tree)
+        started = time.perf_counter()
+        answers = self._node_index.evaluate(pattern)
+        finished = time.perf_counter()
+        codes = sorted(
+            node.dewey for node in answers if node.dewey is not None
+        )
+        return AnswerOutcome(
+            codes, "BN", total_seconds=finished - started
+        )
+
+    def answer_bf(self, query: str | TreePattern) -> AnswerOutcome:
+        """BF: evaluate on base data with the full path index."""
+        pattern = parse_xpath(query) if isinstance(query, str) else query
+        if self._path_index is None:
+            self._path_index = FullPathIndex(self.document.tree)
+        started = time.perf_counter()
+        answers = self._path_index.evaluate(pattern)
+        finished = time.perf_counter()
+        codes = sorted(
+            node.dewey for node in answers if node.dewey is not None
+        )
+        return AnswerOutcome(
+            codes, "BF", total_seconds=finished - started
+        )
+
+    def answer_contained(self, query: str | TreePattern) -> ContainedResult:
+        """Maximal contained rewriting (paper future work).
+
+        Returns every *certain* answer obtainable from the materialized
+        views — a subset of the true answer set, exact when some view
+        answers the query equivalently.  Never raises
+        :class:`~repro.errors.ViewNotAnswerableError`; an empty result
+        simply means no view contributes.
+        """
+        pattern = parse_xpath(query) if isinstance(query, str) else query
+        return maximal_contained_rewriting(
+            self._materialized,
+            pattern,
+            self.fragments,
+            self.document.schema,
+            self.document.fst,
+        )
+
+    def answer_tj(self, query: str | TreePattern) -> AnswerOutcome:
+        """TJ: TJFast-style evaluation from leaf streams + encodings.
+
+        Reads only the Dewey-code streams of the query's leaf labels —
+        the base-data counterpart of the multi-view join (paper [22]).
+        """
+        from ..matching.tjfast import tjfast_evaluate
+
+        pattern = parse_xpath(query) if isinstance(query, str) else query
+        started = time.perf_counter()
+        codes = sorted(tjfast_evaluate(pattern, self.document))
+        finished = time.perf_counter()
+        return AnswerOutcome(codes, "TJ", total_seconds=finished - started)
+
+    def direct_codes(self, query: str | TreePattern) -> list[DeweyCode]:
+        """Ground truth: direct evaluation, full scan."""
+        pattern = parse_xpath(query) if isinstance(query, str) else query
+        answers = evaluate(pattern, self.document.tree)
+        return sorted(node.dewey for node in answers if node.dewey is not None)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def index_sizes(self) -> dict[str, int]:
+        """Byte estimates of the BN / BF indexes (built on demand)."""
+        if self._node_index is None:
+            self._node_index = NodeIndex(self.document.tree)
+        if self._path_index is None:
+            self._path_index = FullPathIndex(self.document.tree)
+        return {
+            "BN": self._node_index.stored_bytes,
+            "BF": self._path_index.stored_bytes,
+        }

@@ -1,0 +1,193 @@
+"""Holistic join of refined view fragments on extended Dewey codes
+(paper Section V; in the spirit of TJFast [22]).
+
+Joining never touches base data: each fragment root's Dewey code yields,
+through the FST, its complete root-to-node *label path*, and every
+prefix of the code denotes a concrete ancestor.  The join therefore has
+everything it needs to verify the query's **upper skeleton** — the query
+nodes on the paths from the root to the units' anchors:
+
+* every skeleton node is assigned a concrete code (a prefix of some
+  fragment root's code);
+* an anchor node is assigned its unit's fragment root;
+* a ``/``-edge forces parent/child codes, a ``//``-edge a proper prefix;
+* the assigned code's label (FST-derived) must satisfy the query node's
+  label test;
+* skeleton nodes shared between units must receive the *same* code —
+  this is exactly what Example 4.2 of the paper shows is necessary (two
+  ``d`` nodes under different ``b`` parents must not join).
+
+The solver is a backtracking CSP over units ordered by anchor depth,
+using binary search over each unit's code-sorted fragment list to
+enumerate only roots inside the Dewey range of the deepest already
+assigned ancestor (:func:`repro.xmltree.dewey.descendant_range_key`).
+
+The public entry point returns, for a designated extraction unit (the
+Δ-view), the fragments that participate in at least one full join — the
+set the compensating query then extracts answers from.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from ..xmltree.dewey import DeweyCode, descendant_range_key
+from ..xmltree.fst import FiniteStateTransducer
+from ..xpath.ast import Axis, WILDCARD
+from ..xpath.pattern import PatternNode, TreePattern
+from .refine import RefinedUnit
+
+__all__ = ["join_units", "anchor_instantiations"]
+
+
+def _label_ok(pattern_label: str, concrete_label: str) -> bool:
+    return pattern_label == WILDCARD or pattern_label == concrete_label
+
+
+def anchor_instantiations(
+    path_nodes: list[PatternNode],
+    code: DeweyCode,
+    labels: tuple[str, ...],
+    assignment: dict[int, DeweyCode],
+) -> list[dict[int, DeweyCode]]:
+    """All ways to place a query root-to-anchor path onto one concrete
+    root-to-node chain.
+
+    ``path_nodes`` is the query path (root first, anchor last); ``code``
+    the fragment root's Dewey code and ``labels`` its FST-decoded label
+    path (same length).  ``assignment`` holds already fixed skeleton
+    nodes; placements must agree with it.  Returns the *new* bindings of
+    each consistent placement (not including prior assignments).
+    """
+    results: list[dict[int, DeweyCode]] = []
+    depth = len(code)
+
+    def place(index: int, position: int, bound: dict[int, DeweyCode]) -> None:
+        # position = prefix length assigned to path_nodes[index - 1].
+        if index == len(path_nodes):
+            if position == depth:
+                results.append(dict(bound))
+            return
+        node = path_nodes[index]
+        if node.axis is Axis.CHILD:
+            candidates = [position + 1]
+        else:
+            candidates = list(range(position + 1, depth + 1))
+        remaining = len(path_nodes) - index - 1
+        fixed = assignment.get(id(node))
+        for candidate in candidates:
+            if candidate + remaining > depth:
+                break
+            if not _label_ok(node.label, labels[candidate - 1]):
+                continue
+            prefix = code[:candidate]
+            if fixed is not None:
+                # Already assigned by another unit: must coincide, and is
+                # not re-recorded (the caller owns its binding).
+                if fixed != prefix:
+                    continue
+                place(index + 1, candidate, bound)
+                continue
+            bound[id(node)] = prefix
+            place(index + 1, candidate, bound)
+            del bound[id(node)]
+        return
+
+    place(0, 0, {})
+    return results
+
+
+@dataclass(slots=True)
+class _Participant:
+    refined: RefinedUnit
+    path_nodes: list[PatternNode]
+    codes: list[DeweyCode]  # sorted fragment root codes
+
+
+def _prepare(units: list[RefinedUnit], query: TreePattern) -> list[_Participant]:
+    participants = []
+    for refined in units:
+        path_nodes = refined.unit.anchor.root_path()
+        codes = [fragment.code for fragment in refined.fragments]
+        participants.append(_Participant(refined, path_nodes, codes))
+    # Deeper anchors first: they constrain the assignment the most.
+    participants.sort(key=lambda p: -len(p.path_nodes))
+    return participants
+
+
+def _candidate_codes(
+    participant: _Participant, assignment: dict[int, DeweyCode]
+) -> list[DeweyCode]:
+    """Fragment roots compatible with the deepest assigned ancestor."""
+    anchor = participant.path_nodes[-1]
+    fixed = assignment.get(id(anchor))
+    if fixed is not None:
+        index = bisect_left(participant.codes, fixed)
+        if index < len(participant.codes) and participant.codes[index] == fixed:
+            return [fixed]
+        return []
+    # Deepest assigned skeleton node on this unit's path bounds the root.
+    bound: DeweyCode | None = None
+    for node in participant.path_nodes:
+        code = assignment.get(id(node))
+        if code is not None and (bound is None or len(code) > len(bound)):
+            bound = code
+    if bound is None:
+        return participant.codes
+    low, high = descendant_range_key(bound)
+    start = bisect_left(participant.codes, low)
+    end = bisect_right(participant.codes, high)
+    return participant.codes[start:end]
+
+
+def join_units(
+    units: list[RefinedUnit],
+    query: TreePattern,
+    fst: FiniteStateTransducer,
+    extraction_unit: RefinedUnit,
+) -> list[DeweyCode]:
+    """Return the extraction unit's fragment roots that join fully.
+
+    Every unit in ``units`` (including the extraction unit) must
+    participate; a root of the extraction unit survives when some global
+    assignment of the upper skeleton is consistent with one root from
+    every other unit.
+    """
+    participants = _prepare(units, query)
+    others = [p for p in participants if p.refined is not extraction_unit]
+    target = next(p for p in participants if p.refined is extraction_unit)
+
+    def solve(index: int, assignment: dict[int, DeweyCode]) -> bool:
+        if index == len(others):
+            return True
+        participant = others[index]
+        for code in _candidate_codes(participant, assignment):
+            labels = fst.decode(code)
+            placements = anchor_instantiations(
+                participant.path_nodes, code, labels, assignment
+            )
+            for bound in placements:
+                assignment.update(bound)
+                if solve(index + 1, assignment):
+                    for key in bound:
+                        del assignment[key]
+                    return True
+                for key in bound:
+                    del assignment[key]
+        return False
+
+    surviving: list[DeweyCode] = []
+    for code in target.codes:
+        labels = fst.decode(code)
+        placements = anchor_instantiations(
+            target.path_nodes, code, labels, {}
+        )
+        matched = False
+        for bound in placements:
+            if solve(0, bound):
+                matched = True
+                break
+        if matched:
+            surviving.append(code)
+    return surviving

@@ -1,0 +1,66 @@
+"""View definitions: an identifier plus a tree pattern.
+
+A *view* in the paper is an XPath expression whose answer-node subtrees
+are pre-computed and stored ("materialized fragments").  This module
+holds the lightweight definition object shared by VFILTER, selection and
+rewriting; materialization itself lives in
+:mod:`repro.core.system` / :mod:`repro.storage.fragments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..xpath.decompose import decompose
+from ..xpath.normalize import normalize
+from ..xpath.parser import parse_xpath
+from ..xpath.pattern import PathPattern, TreePattern
+
+__all__ = ["View"]
+
+
+@dataclass(slots=True)
+class View:
+    """A named XPath view.
+
+    ``paths`` caches the normalized decomposition ``D(V)`` — computed
+    once at registration, reused by VFILTER construction and filtering.
+    """
+
+    view_id: str
+    pattern: TreePattern
+    paths: list[PathPattern] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            self.paths = [normalize(path) for path in decompose(self.pattern)]
+
+    @classmethod
+    def from_xpath(cls, view_id: str, expression: str) -> "View":
+        """Build a view from an XPath string."""
+        return cls(view_id, parse_xpath(expression))
+
+    @property
+    def path_count(self) -> int:
+        """``|D(V)|`` — the filtering threshold of Algorithm 1."""
+        return len(self.paths)
+
+    def constraint_signature(self) -> frozenset:
+        """Every attribute constraint appearing anywhere in the pattern.
+
+        A homomorphism must map each constrained view node onto a query
+        node carrying the same constraint, so this set being a subset of
+        the query's is a *necessary* condition — the pruning signal the
+        paper's future work proposes to add to VFILTER.
+        """
+        return frozenset(
+            constraint
+            for node in self.pattern.iter_nodes()
+            for constraint in node.constraints
+        )
+
+    def to_xpath(self) -> str:
+        return self.pattern.to_xpath()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"View({self.view_id!r}, {self.to_xpath()!r})"

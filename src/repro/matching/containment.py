@@ -1,0 +1,124 @@
+"""Exact tree-pattern containment via canonical models.
+
+Containment of patterns in ``XP{/, //, *, []}`` is coNP-complete
+(Miklau & Suciu — references [14], [15] of the paper).  The decision
+procedure implemented here enumerates *canonical models* of the
+candidate containee ``P``:
+
+* every ``*`` label is replaced by a fresh label ``z`` outside the
+  alphabet, and
+* every ``//``-edge is expanded into a chain of 0..k ``z``-labeled
+  nodes,
+
+where ``k = w(Q) + 1`` and ``w(Q)`` is the length of the longest run of
+consecutive wildcard steps in ``Q`` (the Miklau–Suciu bound).  Then
+``P ⊑ Q`` iff ``Q`` matches every canonical model.
+
+This is exponential in the number of ``//``-edges of ``P`` and exists to
+*validate* the PTIME homomorphism pipeline in tests and to measure the
+homomorphism-vs-containment gap (the paper's "rare in practice" claim);
+production paths never call it.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..xmltree.tree import XMLNode, XMLTree
+from ..xpath.ast import Axis, WILDCARD
+from ..xpath.pattern import PatternNode, TreePattern
+from .evaluate import evaluate_boolean
+
+__all__ = ["contains", "equivalent", "wildcard_run_bound"]
+
+#: Fresh label guaranteed outside workload alphabets.
+_FRESH = "⁇z"
+
+
+def wildcard_run_bound(pattern: TreePattern) -> int:
+    """Return ``w(pattern) + 1``: the chain-length bound for canonical
+    models, where ``w`` is the longest run of consecutive ``*`` steps on
+    any root-to-leaf path."""
+    best = 0
+
+    def walk(node: PatternNode, run: int) -> None:
+        nonlocal best
+        run = run + 1 if node.label == WILDCARD else 0
+        best = max(best, run)
+        for child in node.children:
+            walk(child, run)
+
+    walk(pattern.root, 0)
+    return best + 1
+
+
+def _descendant_edges(pattern: TreePattern) -> list[PatternNode]:
+    """Pattern nodes whose incoming edge is ``//`` (including the root
+    when the pattern is ``//``-rooted)."""
+    return [
+        node for node in pattern.iter_nodes() if node.axis is Axis.DESCENDANT
+    ]
+
+
+def _build_canonical(
+    pattern: TreePattern, chain_lengths: dict[int, int]
+) -> XMLTree:
+    """Materialize one canonical model of ``pattern``.
+
+    ``chain_lengths[id(node)]`` gives the number of fresh nodes inserted
+    above each ``//``-edge node.  A ``//``-rooted pattern gets a fresh
+    super-root so the model is a proper single-rooted document.
+    """
+
+    def label_of(node: PatternNode) -> str:
+        return _FRESH if node.label == WILDCARD else node.label
+
+    def attach(pattern_node: PatternNode, parent: XMLNode | None) -> XMLNode:
+        """Create the chain + element for ``pattern_node``; return the
+        topmost created node (first chain link, or the element)."""
+        attributes = {
+            constraint.name: (
+                constraint.value if constraint.value is not None else "1"
+            )
+            for constraint in pattern_node.constraints
+        }
+        element = XMLNode(label_of(pattern_node), attributes=attributes)
+        chain = chain_lengths.get(id(pattern_node), 0)
+        nodes = [XMLNode(_FRESH) for _ in range(chain)] + [element]
+        for upper, lower in zip(nodes, nodes[1:]):
+            upper.add_child(lower)
+        if parent is not None:
+            parent.add_child(nodes[0])
+        for child in pattern_node.children:
+            attach(child, element)
+        return nodes[0]
+
+    # For a //-rooted pattern, chain length 0 models the case where the
+    # pattern root is the document root itself; longer chains bury it
+    # under fresh ancestors.
+    return XMLTree(attach(pattern.root, None))
+
+
+def contains(containee: TreePattern, container: TreePattern) -> bool:
+    """Exact boolean containment test: ``containee ⊑ container``.
+
+    Enumerates canonical models of ``containee`` with chain lengths
+    ``0..k`` per ``//``-edge (``k`` from :func:`wildcard_run_bound` on
+    ``container``) and checks ``container`` matches each.
+    """
+    bound = wildcard_run_bound(container)
+    desc_nodes = _descendant_edges(containee)
+    lengths = range(0, bound + 1)
+    for combo in product(lengths, repeat=len(desc_nodes)):
+        chain_lengths = {
+            id(node): count for node, count in zip(desc_nodes, combo)
+        }
+        model = _build_canonical(containee, chain_lengths)
+        if not evaluate_boolean(container, model):
+            return False
+    return True
+
+
+def equivalent(first: TreePattern, second: TreePattern) -> bool:
+    """Exact boolean equivalence: mutual containment."""
+    return contains(first, second) and contains(second, first)

@@ -1,0 +1,223 @@
+"""Pattern-to-pattern homomorphisms (paper Section II).
+
+A homomorphism ``h`` from pattern ``P`` to pattern ``Q`` maps P-nodes to
+Q-nodes such that
+
+* ``LABEL(p) = LABEL(h(p))`` or ``LABEL(p) = *``,
+* every attribute constraint on ``p`` also appears on ``h(p)``
+  (the paper's "exactly the same" rule for comparison predicates),
+* a ``/``-edge ``(p1, p2)`` maps to a ``/``-edge ``(h(p1), h(p2))``,
+* a ``//``-edge ``(p1, p2)`` maps to any downward path of length ≥ 1.
+
+Patterns are absolute, so both are treated as hanging off a shared
+virtual document root: a ``/``-rooted ``P`` must map its root onto a
+``/``-rooted ``Q``'s root, while a ``//``-rooted ``P`` may map its root
+to any node of ``Q``.
+
+Existence of ``h : P → Q`` witnesses containment ``Q ⊑ P`` (sound, and
+complete when ``P`` is a path pattern — Theorem 3.1).  Besides the
+boolean check, this module computes *feasible pairs*: for each P-node
+``p``, the set of Q-nodes ``q`` for which some global homomorphism maps
+``p`` to ``q``.  Anchor enumeration for view selection
+(:mod:`repro.core.leaf_cover`) is built on that relation.
+
+Complexity: ``O(|P| · |Q| · depth(Q))`` with small constants; pattern
+sizes in this problem are tiny (≤ ~15 nodes).
+"""
+
+from __future__ import annotations
+
+from ..xpath.ast import Axis, WILDCARD
+from ..xpath.pattern import PatternNode, TreePattern
+
+__all__ = [
+    "label_subsumes",
+    "constraints_subsume",
+    "node_subsumes",
+    "has_homomorphism",
+    "feasible_pairs",
+    "feasible_anchors",
+    "branch_maps_into",
+    "subtree_maps_to",
+]
+
+
+def label_subsumes(general: str, specific: str) -> bool:
+    """True when a pattern label ``general`` may map onto ``specific``.
+
+    ``*`` subsumes every label; otherwise labels must be equal.  Note the
+    asymmetry: a concrete label does *not* subsume ``*``.
+    """
+    return general == WILDCARD or general == specific
+
+
+def constraints_subsume(general: PatternNode, specific: PatternNode) -> bool:
+    """True when every attribute constraint of ``general`` also binds
+    ``specific`` (exact syntactic match, per the paper's Section V)."""
+    if not general.constraints:
+        return True
+    specific_set = set(specific.constraints)
+    return all(constraint in specific_set for constraint in general.constraints)
+
+
+def node_subsumes(general: PatternNode, specific: PatternNode) -> bool:
+    """Label + constraint admissibility of mapping ``general → specific``."""
+    return label_subsumes(general.label, specific.label) and constraints_subsume(
+        general, specific
+    )
+
+
+class _HomMatcher:
+    """Shared machinery for downward/upward homomorphism DP."""
+
+    def __init__(self, source: TreePattern, target: TreePattern):
+        self.source = source
+        self.target = target
+        self.target_nodes = list(target.iter_nodes())
+        # Bottom-up order for the downward pass.
+        self.target_postorder = list(reversed(self.target_nodes))
+        self._down: dict[tuple[int, int], bool] = {}
+
+    # -- downward feasibility ------------------------------------------
+    def down(self, p: PatternNode, q: PatternNode) -> bool:
+        """Can ``subtree(p)`` map with ``p → q``?"""
+        key = (id(p), id(q))
+        cached = self._down.get(key)
+        if cached is not None:
+            return cached
+        result = node_subsumes(p, q) and all(
+            self._child_placeable(child, q) for child in p.children
+        )
+        self._down[key] = result
+        return result
+
+    def _child_placeable(self, child: PatternNode, q: PatternNode) -> bool:
+        if child.axis is Axis.CHILD:
+            return any(
+                qc.axis is Axis.CHILD and self.down(child, qc)
+                for qc in q.children
+            )
+        # Descendant edge: any strict descendant of q may host the child.
+        stack = list(q.children)
+        while stack:
+            candidate = stack.pop()
+            if self.down(child, candidate):
+                return True
+            stack.extend(candidate.children)
+        return False
+
+    # -- root admissibility --------------------------------------------
+    def root_targets(self) -> list[PatternNode]:
+        """Q-nodes the source root may map to, per the leading axis."""
+        if self.source.root.axis is Axis.CHILD:
+            if self.target.root.axis is Axis.CHILD:
+                return [self.target.root]
+            return []
+        return self.target_nodes
+
+    # -- upward feasibility --------------------------------------------
+    def feasible(self) -> dict[int, list[PatternNode]]:
+        """Map ``id(p) -> [q, ...]`` of globally feasible pairs."""
+        down_ok: dict[int, list[PatternNode]] = {}
+        for p in self.source.iter_nodes():
+            down_ok[id(p)] = [q for q in self.target_nodes if self.down(p, q)]
+
+        up_ok: dict[tuple[int, int], bool] = {}
+
+        def up(p: PatternNode, q: PatternNode) -> bool:
+            key = (id(p), id(q))
+            cached = up_ok.get(key)
+            if cached is not None:
+                return cached
+            up_ok[key] = False  # cycle guard (tree: no real cycles)
+            parent = p.parent
+            if parent is None:
+                result = q in self.root_targets()
+            else:
+                result = any(
+                    self.down(parent, q_parent)
+                    and up(parent, q_parent)
+                    for q_parent in self._parent_candidates(p, q)
+                )
+            up_ok[key] = result
+            return result
+
+        feasible: dict[int, list[PatternNode]] = {}
+        for p in self.source.iter_nodes():
+            feasible[id(p)] = [q for q in down_ok[id(p)] if up(p, q)]
+        return feasible
+
+    def _parent_candidates(self, p: PatternNode, q: PatternNode) -> list[PatternNode]:
+        """Q-nodes that may host ``p.parent`` given ``p → q``."""
+        if p.axis is Axis.CHILD:
+            if q.parent is not None and q.axis is Axis.CHILD:
+                return [q.parent]
+            return []
+        return [ancestor for ancestor in q.ancestors_or_self() if ancestor is not q]
+
+    # -- boolean existence ---------------------------------------------
+    def exists(self) -> bool:
+        return any(self.down(self.source.root, q) for q in self.root_targets())
+
+
+def has_homomorphism(source: TreePattern, target: TreePattern) -> bool:
+    """True when a homomorphism ``source → target`` exists.
+
+    Witnesses ``target ⊑ source`` (sound; complete when ``source`` is a
+    path pattern).
+    """
+    return _HomMatcher(source, target).exists()
+
+
+def feasible_pairs(
+    source: TreePattern, target: TreePattern
+) -> dict[int, list[PatternNode]]:
+    """For each source node id, the target nodes reachable under some
+    global homomorphism.  Empty lists everywhere when none exists."""
+    return _HomMatcher(source, target).feasible()
+
+
+def feasible_anchors(source: TreePattern, target: TreePattern) -> list[PatternNode]:
+    """Target nodes that ``RET(source)`` can map to — the *anchors* used
+    by view selection (``h(RET(V))`` candidates inside the query)."""
+    return feasible_pairs(source, target).get(id(source.ret), [])
+
+
+def subtree_maps_to(general: PatternNode, specific: PatternNode) -> bool:
+    """Downward homomorphism between two anchored subtrees:
+    ``general`` (and everything below it) maps with ``general →
+    specific`` under the usual label/constraint/edge rules."""
+    if not node_subsumes(general, specific):
+        return False
+    return all(_branch_placeable(child, specific) for child in general.children)
+
+
+def _branch_placeable(branch: PatternNode, host: PatternNode) -> bool:
+    """Can ``branch`` (with its incoming axis) hang somewhere under
+    ``host``?"""
+    if branch.axis is Axis.CHILD:
+        return any(
+            candidate.axis is Axis.CHILD and subtree_maps_to(branch, candidate)
+            for candidate in host.children
+        )
+    stack = list(host.children)
+    while stack:
+        candidate = stack.pop()
+        if subtree_maps_to(branch, candidate):
+            return True
+        stack.extend(candidate.children)
+    return False
+
+
+def branch_maps_into(branch: PatternNode, host: PatternNode) -> bool:
+    """Anchored *whole-branch* homomorphism used for predicate
+    implication in leaf-cover computation.
+
+    ``branch`` is a query subtree hanging off an anchor node mapped to
+    ``host``; the entire branch (all its sub-branches, not just one
+    root-to-leaf chain) must embed into ``host``'s subtree.  Requiring
+    the whole branch keeps coverage sound when several obligations share
+    an intermediate node below the join-verified region (see DESIGN.md
+    §4).
+    """
+    return _branch_placeable(branch, host)

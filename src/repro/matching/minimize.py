@@ -1,0 +1,95 @@
+"""Tree-pattern minimization (paper Section II, reference [24]).
+
+The paper assumes all patterns are minimized; minimization "may impact
+the efficiency but not the effectiveness" of the approach.  The
+implemented procedure removes *redundant branches*: a child subtree
+``c1`` of node ``n`` is redundant when a sibling subtree ``c2`` implies
+it — i.e. there is an anchored homomorphism from ``c1`` into ``c2``
+(same host ``n``).  Subtrees containing the answer node are never
+removed.  The procedure iterates to a fixpoint bottom-up, which yields
+the unique minimal pattern for ``XP{/, //, []}``; with wildcards it is a
+sound reducer (never changes semantics) though not guaranteed minimum,
+matching standard practice.
+"""
+
+from __future__ import annotations
+
+from ..xpath.ast import Axis
+from ..xpath.pattern import PatternNode, TreePattern
+from .homomorphism import node_subsumes
+
+__all__ = ["minimize", "minimized_copy"]
+
+
+def _subtree_absorbs(absorber: PatternNode, absorbed: PatternNode) -> bool:
+    """True when ``absorbed``'s subtree (with its incoming edge) maps
+    into ``absorber``'s subtree hanging off the same host node.
+
+    Mapping rules match homomorphisms: the absorbed branch is the more
+    general side, so its presence is implied by the absorber's.
+    """
+
+    def maps_to(general: PatternNode, specific: PatternNode) -> bool:
+        if not node_subsumes(general, specific):
+            return False
+        return all(_placeable(child, specific) for child in general.children)
+
+    def _placeable(child: PatternNode, host: PatternNode) -> bool:
+        if child.axis is Axis.CHILD:
+            return any(
+                candidate.axis is Axis.CHILD and maps_to(child, candidate)
+                for candidate in host.children
+            )
+        stack = list(host.children)
+        while stack:
+            candidate = stack.pop()
+            if maps_to(child, candidate):
+                return True
+            stack.extend(candidate.children)
+        return False
+
+    # Edge admissibility at the top: a /-branch is implied only by a
+    # /-branch; a //-branch is implied by a branch reachable at any depth.
+    if absorbed.axis is Axis.CHILD:
+        return absorber.axis is Axis.CHILD and maps_to(absorbed, absorber)
+    if maps_to(absorbed, absorber):
+        return True
+    stack = list(absorber.iter_subtree())
+    return any(
+        maps_to(absorbed, candidate) for candidate in stack if candidate is not absorber
+    )
+
+
+def minimize(pattern: TreePattern) -> TreePattern:
+    """Minimize ``pattern`` in place and return it.
+
+    Removes every branch implied by a sibling branch, repeatedly, never
+    touching the spine to the answer node.
+    """
+    protected = {id(node) for node in pattern.ret.ancestors_or_self()}
+    changed = True
+    while changed:
+        changed = False
+        for node in list(pattern.iter_nodes()):
+            children = node.children
+            if len(children) < 2:
+                continue
+            for candidate in list(children):
+                if id(candidate) in protected:
+                    continue
+                others = [child for child in children if child is not candidate]
+                if any(
+                    _subtree_absorbs(other, candidate) for other in others
+                ):
+                    candidate.parent = None
+                    children.remove(candidate)
+                    changed = True
+                    break
+            if changed:
+                break
+    return pattern
+
+
+def minimized_copy(pattern: TreePattern) -> TreePattern:
+    """Return a minimized deep copy, leaving the input untouched."""
+    return minimize(pattern.copy())

@@ -1,0 +1,178 @@
+"""TJFast-style holistic twig join over extended Dewey leaf streams.
+
+The paper's multi-view join is "similar to TJFast that uses extended
+Dewey-code" (Lu et al., reference [22]): because every extended Dewey
+code encodes its node's complete root-to-node label path, a tree
+pattern can be matched by reading **only the streams of its leaf
+labels** — interior pattern nodes never touch the data.
+
+This module implements that evaluation strategy as a third base-data
+algorithm (besides the set-DP evaluator and the BN/BF indexed variants):
+
+1. For every root-to-leaf path of the pattern, scan the stream of codes
+   whose label matches the path's leaf (all nodes for a wildcard leaf).
+   Each code's FST-derived label path yields its *instantiations*: the
+   consistent assignments of the path's pattern nodes to code prefixes
+   (:func:`repro.core.twig_join.anchor_instantiations` — the same
+   machinery the view join uses).
+2. Join the per-path solutions on the pattern's *branching* nodes: two
+   paths agree when they assign every shared pattern node the same
+   concrete prefix.  A hash join keyed on the shared-node assignment
+   tuple merges path solutions left to right.
+3. Project the answer node's assignments.
+
+Used as ground-truth cross-check in tests and as the ``TJ`` baseline.
+Complexity is output-sensitive: each leaf stream is scanned once, and
+merging is hash-based on branching-node keys.
+"""
+
+from __future__ import annotations
+
+from ..xmltree.builder import EncodedDocument
+from ..xmltree.dewey import DeweyCode
+from ..xpath.ast import WILDCARD
+from ..xpath.pattern import PatternNode, TreePattern
+
+__all__ = ["tjfast_evaluate", "leaf_streams"]
+
+
+def leaf_streams(
+    pattern: TreePattern, document: EncodedDocument
+) -> dict[int, list[DeweyCode]]:
+    """Sorted code stream per pattern leaf (by leaf node id)."""
+    streams: dict[int, list[DeweyCode]] = {}
+    tree = document.tree
+    for leaf in pattern.leaves():
+        if leaf.label == WILDCARD:
+            nodes = list(tree.iter_nodes())
+        else:
+            nodes = tree.nodes_with_label(leaf.label)
+        codes = sorted(
+            node.dewey for node in nodes if node.dewey is not None
+        )
+        streams[id(leaf)] = codes
+    return streams
+
+
+def _path_solutions(
+    leaf: PatternNode,
+    stream: list[DeweyCode],
+    document: EncodedDocument,
+    interesting: set[int],
+) -> list[tuple[tuple[DeweyCode, ...], dict[int, DeweyCode]]]:
+    """All (key, assignment) path solutions for one leaf stream.
+
+    ``key`` is the assignment restricted to ``interesting`` pattern
+    nodes (the branching nodes shared with other paths), in a canonical
+    order, used as the join key.
+    """
+    # Imported lazily: twig_join sits in repro.core, which imports this
+    # package during its own initialization.
+    from ..core.twig_join import anchor_instantiations
+
+    path_nodes = leaf.root_path()
+    shared = [node for node in path_nodes if id(node) in interesting]
+    solutions = []
+    fst = document.fst
+    for code in stream:
+        labels = fst.decode(code)
+        for bound in anchor_instantiations(path_nodes, code, labels, {}):
+            key = tuple(bound[id(node)] for node in shared)
+            solutions.append((key, bound))
+    return solutions
+
+
+def _attributes_ok(
+    pattern: TreePattern,
+    assignment: dict[int, DeweyCode],
+    document: EncodedDocument,
+) -> bool:
+    """Check attribute constraints on the assigned concrete nodes."""
+    for node in pattern.iter_nodes():
+        if not node.constraints:
+            continue
+        code = assignment.get(id(node))
+        if code is None:  # pragma: no cover - all nodes are assigned
+            return False
+        concrete = document.node_by_code(code)
+        if concrete is None:
+            return False
+        if not all(c.matches(concrete.attributes) for c in node.constraints):
+            return False
+    return True
+
+
+def tjfast_evaluate(
+    pattern: TreePattern, document: EncodedDocument
+) -> set[DeweyCode]:
+    """Answer ``pattern`` from leaf streams + encodings only.
+
+    Returns the set of answer-node codes; equals
+    :func:`repro.matching.evaluate` on the same document (tested).
+    """
+    leaves = pattern.leaves()
+    # Branching nodes: pattern nodes lying on more than one root-to-leaf
+    # path — the join keys.  With a single path there is nothing to join.
+    occurrence: dict[int, int] = {}
+    for leaf in leaves:
+        for node in leaf.root_path():
+            occurrence[id(node)] = occurrence.get(id(node), 0) + 1
+    interesting = {node_id for node_id, count in occurrence.items() if count > 1}
+    # The answer node's assignment must survive the merge even when it
+    # lies on a single path.
+    for node in pattern.ret.root_path():
+        interesting.add(id(node))
+
+    streams = leaf_streams(pattern, document)
+    has_constraints = any(node.constraints for node in pattern.iter_nodes())
+
+    merged: list[dict[int, DeweyCode]] | None = None
+    for leaf in leaves:
+        solutions = _path_solutions(
+            leaf, streams[id(leaf)], document, interesting
+        )
+        if merged is None:
+            merged = []
+            for _key, bound in solutions:
+                merged.append(bound)
+            continue
+        # Hash join on the shared interesting nodes between the merged
+        # assignments and this path's solutions.
+        shared_ids = [
+            id(node)
+            for node in leaf.root_path()
+            if id(node) in interesting and id(node) in _assigned_ids(merged)
+        ]
+        table: dict[tuple, list[dict[int, DeweyCode]]] = {}
+        for assignment in merged:
+            key = tuple(assignment[node_id] for node_id in shared_ids)
+            table.setdefault(key, []).append(assignment)
+        next_merged: list[dict[int, DeweyCode]] = []
+        seen: set[tuple] = set()
+        for _key, bound in solutions:
+            key = tuple(bound[node_id] for node_id in shared_ids)
+            for assignment in table.get(key, []):
+                combined = dict(assignment)
+                combined.update(bound)
+                signature = tuple(sorted(combined.items()))
+                if signature not in seen:
+                    seen.add(signature)
+                    next_merged.append(combined)
+        merged = next_merged
+        if not merged:
+            return set()
+
+    assert merged is not None
+    answers: set[DeweyCode] = set()
+    ret_id = id(pattern.ret)
+    for assignment in merged:
+        if has_constraints and not _attributes_ok(
+            pattern, assignment, document
+        ):
+            continue
+        answers.add(assignment[ret_id])
+    return answers
+
+
+def _assigned_ids(merged: list[dict[int, DeweyCode]]) -> set[int]:
+    return set(merged[0]) if merged else set()

@@ -1,0 +1,33 @@
+"""Storage substrate: embedded KV store, fragment store, base-data indexes."""
+
+from .fragments import DEFAULT_FRAGMENT_CAP, Fragment, FragmentStore
+from .index import FullPathIndex, NodeIndex, match_path_steps
+from .kvstore import KVStore
+from .serialize import (
+    decode_dewey,
+    decode_fragment,
+    decode_text,
+    decode_varint,
+    encode_dewey,
+    encode_fragment,
+    encode_text,
+    encode_varint,
+)
+
+__all__ = [
+    "DEFAULT_FRAGMENT_CAP",
+    "Fragment",
+    "FragmentStore",
+    "FullPathIndex",
+    "KVStore",
+    "NodeIndex",
+    "decode_dewey",
+    "decode_fragment",
+    "decode_text",
+    "decode_varint",
+    "encode_dewey",
+    "encode_fragment",
+    "encode_text",
+    "encode_varint",
+    "match_path_steps",
+]

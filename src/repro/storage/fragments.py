@@ -1,0 +1,201 @@
+"""Materialized view fragments (Berkeley DB XML substitute).
+
+A materialized view stores, for every answer node of its pattern, the
+*fragment*: the answer node's whole subtree plus its extended Dewey
+code.  The paper caps each view's materialized fragments at 128 KiB
+("the same as [19]"), falling back to base-data evaluation for larger
+results; :class:`FragmentStore` enforces the same cap.
+
+Fragments are persisted in a :class:`~repro.storage.kvstore.KVStore`
+under keys ``f:<view_id>:<seq>`` with a per-view manifest ``m:<view_id>``
+recording the fragment count, cap state and total bytes.  Codes are kept
+sorted (document order), which the holistic join relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import StorageError
+from ..xmltree.dewey import DeweyCode
+from ..xmltree.tree import XMLNode
+from .kvstore import KVStore
+from .serialize import (
+    decode_dewey,
+    decode_fragment,
+    decode_varint,
+    encode_dewey,
+    encode_fragment,
+    encode_varint,
+)
+
+__all__ = ["Fragment", "FragmentStore", "DEFAULT_FRAGMENT_CAP"]
+
+#: Paper setting: 128 KiB of materialized fragments per view.
+DEFAULT_FRAGMENT_CAP = 128 * 1024
+
+
+@dataclass(slots=True)
+class Fragment:
+    """One materialized fragment: root code + lazily decoded subtree."""
+
+    code: DeweyCode
+    _payload: bytes
+    _root: XMLNode | None = None
+
+    @property
+    def root(self) -> XMLNode:
+        """Decode (once) and return the fragment subtree root."""
+        if self._root is None:
+            code, offset = decode_dewey(self._payload, 0)
+            assert code == self.code
+            self._root, _ = decode_fragment(self._payload, offset)
+        return self._root
+
+    @property
+    def stored_bytes(self) -> int:
+        return len(self._payload)
+
+
+class FragmentStore:
+    """Fragment persistence for a set of materialized views."""
+
+    def __init__(self, store: KVStore | None = None,
+                 cap_bytes: int = DEFAULT_FRAGMENT_CAP):
+        self.store = store if store is not None else KVStore()
+        self.cap_bytes = cap_bytes
+        # view_id -> (count, total_bytes, capped)
+        self._manifests: dict[str, tuple[int, int, bool]] = {}
+        # Warm-read cache of Fragment objects (≤ cap_bytes per view, so
+        # memory stays bounded) — the analogue of Berkeley DB XML's page
+        # cache in the paper's setup.  Callers must not mutate the
+        # returned subtrees' structure.
+        self._cache: dict[str, list[Fragment]] = {}
+        self._load_manifests()
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fragment_key(view_id: str, seq: int) -> bytes:
+        return f"f:{view_id}:{seq:08d}".encode()
+
+    @staticmethod
+    def _manifest_key(view_id: str) -> bytes:
+        return f"m:{view_id}".encode()
+
+    def _load_manifests(self) -> None:
+        for key, value in self.store.scan_prefix(b"m:"):
+            view_id = key[2:].decode()
+            count, offset = decode_varint(value, 0)
+            total, offset = decode_varint(value, offset)
+            capped, _ = decode_varint(value, offset)
+            self._manifests[view_id] = (count, total, bool(capped))
+
+    def _write_manifest(self, view_id: str) -> None:
+        count, total, capped = self._manifests[view_id]
+        payload = (
+            encode_varint(count)
+            + encode_varint(total)
+            + encode_varint(int(capped))
+        )
+        self.store.put(self._manifest_key(view_id), payload)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        view_id: str,
+        fragments: Iterator[tuple[DeweyCode, XMLNode]] | list[tuple[DeweyCode, XMLNode]],
+    ) -> bool:
+        """Store fragments for ``view_id`` (sorted by code).
+
+        Returns True when everything fit under the cap; False when the
+        view was *capped* — its stored fragments are discarded and the
+        view is marked unmaterializable, mirroring the paper's policy of
+        not using views whose un-indexed fragments would exceed the
+        budget.
+        """
+        if view_id in self._manifests:
+            raise StorageError(f"view {view_id!r} already materialized")
+        entries = sorted(fragments, key=lambda item: item[0])
+        total = 0
+        payloads: list[bytes] = []
+        for code, root in entries:
+            payload = encode_dewey(code) + encode_fragment(root)
+            total += len(payload)
+            if total > self.cap_bytes:
+                self._manifests[view_id] = (0, 0, True)
+                self._write_manifest(view_id)
+                return False
+            payloads.append(payload)
+        for seq, payload in enumerate(payloads):
+            self.store.put(self._fragment_key(view_id, seq), payload)
+        self._manifests[view_id] = (len(payloads), total, False)
+        self._write_manifest(view_id)
+        return True
+
+    def drop(self, view_id: str) -> None:
+        """Remove a view's fragments and manifest."""
+        manifest = self._manifests.pop(view_id, None)
+        self._cache.pop(view_id, None)
+        if manifest is None:
+            return
+        count = manifest[0]
+        for seq in range(count):
+            self.store.delete(self._fragment_key(view_id, seq))
+        self.store.delete(self._manifest_key(view_id))
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def is_materialized(self, view_id: str) -> bool:
+        manifest = self._manifests.get(view_id)
+        return manifest is not None and not manifest[2]
+
+    def is_capped(self, view_id: str) -> bool:
+        manifest = self._manifests.get(view_id)
+        return manifest is not None and manifest[2]
+
+    def fragment_count(self, view_id: str) -> int:
+        manifest = self._manifests.get(view_id)
+        return manifest[0] if manifest else 0
+
+    def fragment_bytes(self, view_id: str) -> int:
+        """Total stored bytes for a view — the heuristic selector's
+        'smaller materialized fragments' signal."""
+        manifest = self._manifests.get(view_id)
+        return manifest[1] if manifest else 0
+
+    def fragments(self, view_id: str) -> list[Fragment]:
+        """Return the view's fragments in document (code) order.
+
+        Repeated reads are served from the warm cache; the returned
+        subtrees are shared, so treat them as read-only.
+        """
+        cached = self._cache.get(view_id)
+        if cached is not None:
+            return cached
+        manifest = self._manifests.get(view_id)
+        if manifest is None or manifest[2]:
+            return []
+        result: list[Fragment] = []
+        for seq in range(manifest[0]):
+            payload = self.store.get(self._fragment_key(view_id, seq))
+            if payload is None:
+                raise StorageError(
+                    f"missing fragment {seq} for view {view_id!r}"
+                )
+            code, _ = decode_dewey(payload, 0)
+            result.append(Fragment(code, payload))
+        self._cache[view_id] = result
+        return result
+
+    def codes(self, view_id: str) -> list[DeweyCode]:
+        """Return just the sorted fragment root codes."""
+        return [fragment.code for fragment in self.fragments(view_id)]
+
+    def view_ids(self) -> list[str]:
+        return sorted(self._manifests)

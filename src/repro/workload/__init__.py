@@ -1,0 +1,13 @@
+"""Workload generators: XMark-like documents, YFilter-like queries."""
+
+from .querygen import QueryGenConfig, QueryGenerator, generate_positive
+from .xmark import XMARK_REGIONS, generate_xmark, generate_xmark_document
+
+__all__ = [
+    "QueryGenConfig",
+    "QueryGenerator",
+    "XMARK_REGIONS",
+    "generate_positive",
+    "generate_xmark",
+    "generate_xmark_document",
+]

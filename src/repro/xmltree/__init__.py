@@ -1,0 +1,42 @@
+"""XML substrate: tree model, parser, extended Dewey codes, FST."""
+
+from .builder import EncodedDocument, encode_tree
+from .dewey import (
+    DeweyCode,
+    common_prefix,
+    descendant_range_key,
+    format_code,
+    is_ancestor,
+    is_ancestor_or_self,
+    is_parent,
+    is_prefix,
+    parse_code,
+)
+from .fst import FiniteStateTransducer
+from .parser import parse_xml, parse_xml_file
+from .schema import DocumentSchema
+from .serializer import serialize, serialize_node
+from .tree import XMLNode, XMLTree, build_tree
+
+__all__ = [
+    "DeweyCode",
+    "DocumentSchema",
+    "EncodedDocument",
+    "FiniteStateTransducer",
+    "XMLNode",
+    "XMLTree",
+    "build_tree",
+    "common_prefix",
+    "descendant_range_key",
+    "encode_tree",
+    "format_code",
+    "is_ancestor",
+    "is_ancestor_or_self",
+    "is_parent",
+    "is_prefix",
+    "parse_code",
+    "parse_xml",
+    "parse_xml_file",
+    "serialize",
+    "serialize_node",
+]

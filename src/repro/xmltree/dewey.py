@@ -1,0 +1,141 @@
+"""Extended Dewey codes (paper Section II, after Lu et al. [22]).
+
+An extended Dewey code is a tuple of integers, one per edge on the
+root-to-node path (the root itself carries the single component ``0``).
+Unlike plain Dewey codes, the numbers are chosen so that each component's
+residue modulo the parent's fanout identifies the child's *label*; the
+full root-to-node label path can therefore be recovered from the code
+alone via the finite state transducer (:mod:`repro.xmltree.fst`) without
+touching the document — the property the rewriting engine relies on.
+
+Assignment rule (deterministic): children of a node labeled ``t`` with
+fanout ``k`` receive strictly increasing numbers; a child labeled ``c``
+with residue ``i = position(t, c)`` receives the smallest integer greater
+than its previous sibling's number (or ≥ 0 for the first child) congruent
+to ``i`` modulo ``k``.  This reproduces the paper's Figure 2 exactly
+(e.g. siblings ``t,a,a,s,s`` under ``book`` with child order ``t,a,s``
+receive ``0,1,4,5,8``).
+"""
+
+from __future__ import annotations
+
+from ..errors import EncodingError
+from .schema import DocumentSchema
+
+__all__ = [
+    "DeweyCode",
+    "assign_child_component",
+    "format_code",
+    "parse_code",
+    "is_prefix",
+    "is_ancestor",
+    "is_ancestor_or_self",
+    "common_prefix",
+    "compare_codes",
+    "descendant_range_key",
+]
+
+# A Dewey code is a plain tuple of ints; the alias documents intent.
+DeweyCode = tuple[int, ...]
+
+
+def assign_child_component(
+    schema: DocumentSchema,
+    parent_label: str,
+    child_label: str,
+    previous_component: int | None,
+) -> int:
+    """Return the Dewey component for the next child.
+
+    Parameters
+    ----------
+    schema:
+        The document schema providing fanout and label positions.
+    parent_label:
+        Label of the parent node.
+    child_label:
+        Label of the child being encoded.
+    previous_component:
+        The component assigned to the preceding sibling, or ``None`` for
+        the first child.
+    """
+    fanout = schema.fanout(parent_label)
+    residue = schema.child_position(parent_label, child_label)
+    floor = 0 if previous_component is None else previous_component + 1
+    # Smallest value >= floor congruent to residue (mod fanout).
+    offset = (residue - floor) % fanout
+    return floor + offset
+
+
+def format_code(code: DeweyCode) -> str:
+    """Render a code as the dotted form used in the paper, e.g. ``0.8.6``."""
+    return ".".join(str(component) for component in code)
+
+
+def parse_code(text: str) -> DeweyCode:
+    """Parse the dotted form back into a code tuple."""
+    if not text:
+        raise EncodingError("empty Dewey code string")
+    try:
+        return tuple(int(part) for part in text.split("."))
+    except ValueError as exc:
+        raise EncodingError(f"bad Dewey code {text!r}") from exc
+
+
+def is_prefix(prefix: DeweyCode, code: DeweyCode) -> bool:
+    """Return True when ``prefix`` is a (non-strict) prefix of ``code``."""
+    return len(prefix) <= len(code) and code[: len(prefix)] == prefix
+
+
+def is_ancestor(ancestor: DeweyCode, descendant: DeweyCode) -> bool:
+    """Return True when ``ancestor`` encodes a proper ancestor."""
+    return len(ancestor) < len(descendant) and is_prefix(ancestor, descendant)
+
+
+def is_ancestor_or_self(ancestor: DeweyCode, descendant: DeweyCode) -> bool:
+    """Return True for ancestor-or-self (prefix) relationships."""
+    return is_prefix(ancestor, descendant)
+
+
+def is_parent(parent: DeweyCode, child: DeweyCode) -> bool:
+    """Return True when ``parent`` encodes the direct parent of ``child``."""
+    return len(parent) + 1 == len(child) and is_prefix(parent, child)
+
+
+def common_prefix(first: DeweyCode, second: DeweyCode) -> DeweyCode:
+    """Return the longest common prefix — the lowest common ancestor.
+
+    The paper uses exactly this: two nodes' LCA is the node encoded by
+    their codes' common prefix (e.g. ``0.8.6.0`` and ``0.8.6.1`` share
+    ``0.8.6``).
+    """
+    limit = min(len(first), len(second))
+    split = 0
+    while split < limit and first[split] == second[split]:
+        split += 1
+    return first[:split]
+
+
+def compare_codes(first: DeweyCode, second: DeweyCode) -> int:
+    """Total order on codes: document order with ancestors first.
+
+    Returns -1, 0 or 1.  Plain tuple comparison already realizes this
+    order (a prefix sorts before its extensions); the function exists to
+    make call sites explicit.
+    """
+    if first == second:
+        return 0
+    return -1 if first < second else 1
+
+
+def descendant_range_key(prefix: DeweyCode) -> tuple[DeweyCode, DeweyCode]:
+    """Return ``(low, high)`` such that every descendant-or-self code ``c``
+    of ``prefix`` satisfies ``low <= c < high`` under tuple order.
+
+    Used by the holistic join to binary-search a sorted code list for the
+    descendants of a fragment root.
+    """
+    if not prefix:
+        raise EncodingError("cannot build a range for the empty code")
+    high = prefix[:-1] + (prefix[-1] + 1,)
+    return prefix, high

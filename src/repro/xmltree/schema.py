@@ -1,0 +1,132 @@
+"""Document schema: per-label ordered child-label lists.
+
+Extended Dewey encoding (Lu et al., reference [22] of the paper) assigns
+to each child a number whose residue, modulo the number of *distinct*
+child labels its parent's label admits, identifies the child's label.
+That requires a schema: for every label ``l``, the ordered list of labels
+that may appear as children of an ``l`` element.
+
+The paper derives this from the document's DTD; we support both an
+explicitly declared schema and one mined from a document (the order of a
+label's children is the order of first appearance, which makes mining
+deterministic for a fixed document).
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+from .tree import XMLTree
+
+__all__ = ["DocumentSchema"]
+
+
+class DocumentSchema:
+    """Ordered child-label lists per element label, plus the root label.
+
+    Instances are immutable once constructed; they are shared by the
+    Dewey encoder and the FST.
+    """
+
+    __slots__ = ("root_label", "_children", "_positions")
+
+    def __init__(self, root_label: str, children: dict[str, list[str]]):
+        self.root_label = root_label
+        self._children: dict[str, tuple[str, ...]] = {
+            label: tuple(child_labels) for label, child_labels in children.items()
+        }
+        for label, child_labels in self._children.items():
+            if len(set(child_labels)) != len(child_labels):
+                raise SchemaError(f"duplicate child label under {label!r}")
+        self._positions: dict[str, dict[str, int]] = {
+            label: {child: index for index, child in enumerate(child_labels)}
+            for label, child_labels in self._children.items()
+        }
+
+    @classmethod
+    def from_tree(cls, tree: XMLTree) -> "DocumentSchema":
+        """Mine the schema from a document.
+
+        Child labels are ordered by first appearance under each parent
+        label across the whole document.
+        """
+        children: dict[str, list[str]] = {}
+        for node in tree.iter_nodes():
+            slots = children.setdefault(node.label, [])
+            for child in node.children:
+                if child.label not in slots:
+                    slots.append(child.label)
+        return cls(tree.root.label, children)
+
+    # ------------------------------------------------------------------
+    def child_labels(self, label: str) -> tuple[str, ...]:
+        """Return the ordered child labels admitted under ``label``."""
+        try:
+            return self._children[label]
+        except KeyError:
+            raise SchemaError(f"label {label!r} not in schema") from None
+
+    def fanout(self, label: str) -> int:
+        """Return the modulus ``k`` for children of ``label`` (≥ 1)."""
+        # A label with no children still needs modulus 1 so that leaf
+        # parents remain encodable if the document grows.
+        return max(1, len(self.child_labels(label)))
+
+    def child_position(self, parent_label: str, child_label: str) -> int:
+        """Return the residue assigned to ``child_label`` under ``parent_label``."""
+        try:
+            return self._positions[parent_label][child_label]
+        except KeyError:
+            raise SchemaError(
+                f"label {child_label!r} is not a child of {parent_label!r}"
+            ) from None
+
+    def child_at(self, parent_label: str, residue: int) -> str:
+        """Return the child label whose residue is ``residue``."""
+        labels = self.child_labels(parent_label)
+        if not labels:
+            raise SchemaError(f"label {parent_label!r} admits no children")
+        if residue >= len(labels):
+            raise SchemaError(
+                f"residue {residue} out of range for {parent_label!r}"
+            )
+        return labels[residue]
+
+    def labels(self) -> frozenset[str]:
+        """Return every label known to the schema."""
+        known = set(self._children)
+        for child_labels in self._children.values():
+            known.update(child_labels)
+        known.add(self.root_label)
+        return frozenset(known)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DocumentSchema):
+            return NotImplemented
+        return (
+            self.root_label == other.root_label
+            and self._children == other._children
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DocumentSchema root={self.root_label!r} "
+            f"labels={len(self._children)}>"
+        )
+
+    # ------------------------------------------------------------------
+    # serialization (used by the storage layer)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Return a JSON-compatible representation."""
+        return {
+            "root": self.root_label,
+            "children": {
+                label: list(child_labels)
+                for label, child_labels in self._children.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DocumentSchema":
+        """Inverse of :meth:`to_dict`."""
+        return cls(payload["root"], payload["children"])

@@ -1,0 +1,85 @@
+"""XML serialization for :class:`~repro.xmltree.tree.XMLTree`.
+
+Round-trips with :mod:`repro.xmltree.parser`: ``parse_xml(serialize(t))``
+produces a tree structurally equal to ``t``.  Serialization is iterative,
+so it handles the deep documents produced by the workload generator.
+"""
+
+from __future__ import annotations
+
+from .tree import XMLNode, XMLTree
+
+__all__ = ["serialize", "serialize_node"]
+
+_TEXT_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _TEXT_ESCAPES + [('"', "&quot;")]
+
+
+def _escape_text(value: str) -> str:
+    for raw, escaped in _TEXT_ESCAPES:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _escape_attr(value: str) -> str:
+    for raw, escaped in _ATTR_ESCAPES:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _start_tag(node: XMLNode, self_closing: bool) -> str:
+    attrs = "".join(
+        f' {name}="{_escape_attr(value)}"'
+        for name, value in node.attributes.items()
+    )
+    return f"<{node.label}{attrs}{'/' if self_closing else ''}>"
+
+
+def serialize_node(node: XMLNode, indent: int | None = None) -> str:
+    """Serialize the subtree rooted at ``node`` to an XML string.
+
+    Parameters
+    ----------
+    node:
+        Subtree root to serialize.
+    indent:
+        When given, pretty-print with this many spaces per level; text
+        content suppresses indentation inside its element so whitespace
+        round-trips exactly.
+    """
+    parts: list[str] = []
+    # Work stack holds either ("open", node, depth) or ("close", text, depth).
+    stack: list[tuple[str, object, int]] = [("open", node, 0)]
+    while stack:
+        kind, payload, depth = stack.pop()
+        prefix = "" if indent is None else " " * (indent * depth)
+        newline = "" if indent is None else "\n"
+        if kind == "close":
+            label, text = payload  # type: ignore[misc]
+            if text:
+                parts.append(f"{_escape_text(text)}</{label}>{newline}")
+            else:
+                parts.append(f"{prefix}</{label}>{newline}")
+            continue
+        element = payload  # type: ignore[assignment]
+        assert isinstance(element, XMLNode)
+        if not element.children and element.text is None:
+            parts.append(f"{prefix}{_start_tag(element, True)}{newline}")
+            continue
+        if not element.children:
+            parts.append(
+                f"{prefix}{_start_tag(element, False)}"
+                f"{_escape_text(element.text or '')}</{element.label}>{newline}"
+            )
+            continue
+        parts.append(f"{prefix}{_start_tag(element, False)}{newline}")
+        stack.append(("close", (element.label, element.text), depth))
+        for child in reversed(element.children):
+            stack.append(("open", child, depth + 1))
+    return "".join(parts)
+
+
+def serialize(tree: XMLTree, indent: int | None = None) -> str:
+    """Serialize a whole document, including the XML declaration."""
+    body = serialize_node(tree.root, indent=indent)
+    return f'<?xml version="1.0" encoding="UTF-8"?>\n{body}'

@@ -1,0 +1,302 @@
+"""Unordered labeled XML tree model (paper Section II).
+
+The paper models XML data as an unordered tree whose nodes carry labels
+over a finite alphabet ``L``.  This module provides that model:
+
+* :class:`XMLNode` — one element node with a label, optional text and
+  attributes, parent/child links and (once assigned) an extended Dewey
+  code (:mod:`repro.xmltree.dewey`).
+* :class:`XMLTree` — the document: root access, traversal helpers and a
+  label index used by the evaluation baselines.
+
+Document order between siblings is preserved for serialization and for
+deterministic Dewey assignment, but no algorithm in this library depends
+on sibling order — matching semantics are those of unordered trees.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator
+
+__all__ = ["XMLNode", "XMLTree"]
+
+
+class XMLNode:
+    """A single element node of an :class:`XMLTree`.
+
+    Parameters
+    ----------
+    label:
+        Element name; the node's label over the alphabet ``L``.
+    text:
+        Concatenated character data directly under this element
+        (surrounding whitespace stripped), or ``None``.
+    attributes:
+        Attribute name/value mapping; stored as a plain dict.
+    """
+
+    __slots__ = ("label", "text", "attributes", "parent", "children", "dewey")
+
+    def __init__(
+        self,
+        label: str,
+        text: str | None = None,
+        attributes: dict[str, str] | None = None,
+    ):
+        if not label:
+            raise ValueError("node label must be a non-empty string")
+        self.label = label
+        self.text = text
+        self.attributes: dict[str, str] = attributes or {}
+        self.parent: XMLNode | None = None
+        self.children: list[XMLNode] = []
+        # Extended Dewey code, assigned by repro.xmltree.builder; a tuple
+        # of ints, or None before assignment.
+        self.dewey: tuple[int, ...] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_child(self, child: "XMLNode") -> "XMLNode":
+        """Append ``child`` under this node and return the child."""
+        if child.parent is not None:
+            raise ValueError("node already has a parent; detach it first")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def new_child(
+        self,
+        label: str,
+        text: str | None = None,
+        attributes: dict[str, str] | None = None,
+    ) -> "XMLNode":
+        """Create a child with ``label`` and append it; return the child."""
+        return self.add_child(XMLNode(label, text=text, attributes=attributes))
+
+    def detach(self) -> "XMLNode":
+        """Remove this node from its parent and return it."""
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def is_leaf(self) -> bool:
+        """Return True when this node has no element children."""
+        return not self.children
+
+    def depth(self) -> int:
+        """Return the number of edges from the root (root depth is 0)."""
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def ancestors(self) -> Iterator["XMLNode"]:
+        """Yield proper ancestors from parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def ancestors_or_self(self) -> Iterator["XMLNode"]:
+        """Yield this node, then its ancestors up to the root."""
+        yield self
+        yield from self.ancestors()
+
+    def is_ancestor_of(self, other: "XMLNode") -> bool:
+        """Return True when this node is a proper ancestor of ``other``."""
+        return any(anc is self for anc in other.ancestors())
+
+    def is_ancestor_or_self_of(self, other: "XMLNode") -> bool:
+        """Return True when this node is ``other`` or an ancestor of it."""
+        return other is self or self.is_ancestor_of(other)
+
+    def label_path(self) -> tuple[str, ...]:
+        """Return the root-to-self sequence of labels."""
+        labels = [node.label for node in self.ancestors_or_self()]
+        labels.reverse()
+        return tuple(labels)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def iter_subtree(self) -> Iterator["XMLNode"]:
+        """Yield this node and every descendant, in document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            # push reversed so children come out in document order
+            stack.extend(reversed(node.children))
+
+    def iter_descendants(self) -> Iterator["XMLNode"]:
+        """Yield every proper descendant in document order."""
+        iterator = self.iter_subtree()
+        next(iterator)  # skip self
+        yield from iterator
+
+    def find_children(self, label: str) -> list["XMLNode"]:
+        """Return the children whose label equals ``label``."""
+        return [child for child in self.children if child.label == label]
+
+    def subtree_size(self) -> int:
+        """Return the number of nodes in the subtree rooted here."""
+        return sum(1 for _ in self.iter_subtree())
+
+    # ------------------------------------------------------------------
+    # comparison / presentation
+    # ------------------------------------------------------------------
+    def structurally_equal(self, other: "XMLNode") -> bool:
+        """Unordered structural equality of the two subtrees.
+
+        Labels, text and attributes must match; children are compared as
+        multisets (order-insensitive), consistent with the unordered tree
+        model of the paper.
+        """
+        if (
+            self.label != other.label
+            or self.text != other.text
+            or self.attributes != other.attributes
+            or len(self.children) != len(other.children)
+        ):
+            return False
+        unmatched = list(other.children)
+        for child in self.children:
+            for index, candidate in enumerate(unmatched):
+                if child.structurally_equal(candidate):
+                    del unmatched[index]
+                    break
+            else:
+                return False
+        return True
+
+    def canonical_signature(self) -> str:
+        """Order-insensitive signature; equal iff structurally equal."""
+        parts = sorted(child.canonical_signature() for child in self.children)
+        attrs = ",".join(f"{k}={v}" for k, v in sorted(self.attributes.items()))
+        text = self.text or ""
+        return f"{self.label}[{attrs}|{text}]({';'.join(parts)})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        code = ".".join(map(str, self.dewey)) if self.dewey else "?"
+        return f"<XMLNode {self.label} dewey={code} children={len(self.children)}>"
+
+
+class XMLTree:
+    """An XML document: a root :class:`XMLNode` plus whole-tree helpers."""
+
+    __slots__ = ("root", "_label_index")
+
+    def __init__(self, root: XMLNode):
+        if root.parent is not None:
+            raise ValueError("tree root must not have a parent")
+        self.root = root
+        self._label_index: dict[str, list[XMLNode]] | None = None
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def iter_nodes(self) -> Iterator[XMLNode]:
+        """Yield every node of the document in document order."""
+        return self.root.iter_subtree()
+
+    def iter_bfs(self) -> Iterator[XMLNode]:
+        """Yield every node in breadth-first (level) order."""
+        queue: deque[XMLNode] = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            yield node
+            queue.extend(node.children)
+
+    def size(self) -> int:
+        """Return the total number of element nodes."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def height(self) -> int:
+        """Return the maximum node depth (root alone has height 0)."""
+        return max(node.depth() for node in self.iter_nodes())
+
+    def labels(self) -> frozenset[str]:
+        """Return the document's label alphabet ``L``."""
+        return frozenset(node.label for node in self.iter_nodes())
+
+    # ------------------------------------------------------------------
+    # label index
+    # ------------------------------------------------------------------
+    def nodes_with_label(self, label: str) -> list[XMLNode]:
+        """Return all nodes labeled ``label``, in document order.
+
+        The first call builds a label index over the whole document; the
+        index is invalidated by :meth:`invalidate_indexes`.
+        """
+        if self._label_index is None:
+            index: dict[str, list[XMLNode]] = {}
+            for node in self.iter_nodes():
+                index.setdefault(node.label, []).append(node)
+            self._label_index = index
+        return self._label_index.get(label, [])
+
+    def invalidate_indexes(self) -> None:
+        """Drop cached indexes after a structural mutation."""
+        self._label_index = None
+
+    # ------------------------------------------------------------------
+    # lookup by Dewey code
+    # ------------------------------------------------------------------
+    def node_at(self, dewey: tuple[int, ...]) -> XMLNode | None:
+        """Return the node carrying exactly this Dewey code, or ``None``.
+
+        Requires codes to have been assigned by the builder; descends the
+        tree by matching code components.
+        """
+        node = self.root
+        if node.dewey is None or node.dewey != dewey[:1]:
+            return None
+        for depth in range(2, len(dewey) + 1):
+            prefix = dewey[:depth]
+            for child in node.children:
+                if child.dewey == prefix:
+                    node = child
+                    break
+            else:
+                return None
+        return node
+
+    def select(self, predicate: Callable[[XMLNode], bool]) -> list[XMLNode]:
+        """Return all nodes satisfying ``predicate``, in document order."""
+        return [node for node in self.iter_nodes() if predicate(node)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<XMLTree root={self.root.label!r} size={self.size()}>"
+
+
+def build_tree(spec: object) -> XMLTree:
+    """Build an :class:`XMLTree` from a nested tuple/list specification.
+
+    The specification format, used heavily in tests, is
+    ``(label, [child_spec, ...])`` or just ``label`` for a leaf::
+
+        build_tree(("a", ["b", ("c", ["d"])]))
+
+    Returns the constructed tree (without Dewey codes assigned).
+    """
+
+    def build(node_spec: object) -> XMLNode:
+        if isinstance(node_spec, str):
+            return XMLNode(node_spec)
+        if isinstance(node_spec, (tuple, list)) and len(node_spec) == 2:
+            label, children = node_spec
+            node = XMLNode(label)
+            for child_spec in children:
+                node.add_child(build(child_spec))
+            return node
+        raise ValueError(f"bad tree specification: {node_spec!r}")
+
+    return XMLTree(build(spec))

@@ -1,0 +1,29 @@
+"""XPath substrate: fragment parser, tree/path patterns, D(Q), N(P), STR."""
+
+from .ast import Axis, AttributeConstraint, Step, WILDCARD
+from .builder import StepBuilder, step
+from .decompose import decompose
+from .normalize import is_normalized, normalize
+from .parser import parse_path, parse_xpath
+from .pattern import PathPattern, PatternNode, TreePattern
+from .transform import DESCENDANT_TOKEN, str_text, str_tokens
+
+__all__ = [
+    "Axis",
+    "AttributeConstraint",
+    "DESCENDANT_TOKEN",
+    "PathPattern",
+    "PatternNode",
+    "Step",
+    "StepBuilder",
+    "step",
+    "TreePattern",
+    "WILDCARD",
+    "decompose",
+    "is_normalized",
+    "normalize",
+    "parse_path",
+    "parse_xpath",
+    "str_text",
+    "str_tokens",
+]

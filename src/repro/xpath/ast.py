@@ -1,0 +1,102 @@
+"""Basic XPath building blocks: axes, steps, attribute constraints.
+
+The XPath fragment of the paper is ``XP{/, //, *, []}``: child axis,
+descendant axis, label wildcard and branching predicates.  As the paper's
+Section V extension, equality/comparison predicates over attributes are
+also modeled (:class:`AttributeConstraint`); they participate in
+answerability only via exact matching or fragment evaluation, mirroring
+"Handling comparison predicates".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Axis", "Step", "AttributeConstraint", "WILDCARD"]
+
+#: The label wildcard of the fragment (matches any element label).
+WILDCARD = "*"
+
+
+class Axis(enum.Enum):
+    """Edge type between consecutive pattern nodes."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_descendant(self) -> bool:
+        return self is Axis.DESCENDANT
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One location step: an axis and a node test (label or ``*``)."""
+
+    axis: Axis
+    label: str
+
+    def __str__(self) -> str:
+        return f"{self.axis.value}{self.label}"
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.label == WILDCARD
+
+
+_VALID_OPS = ("=", "!=", "<=", ">=", "<", ">")
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeConstraint:
+    """A predicate over an attribute: existence or value comparison.
+
+    ``op is None`` encodes bare existence (``[@name]``); otherwise ``op``
+    is one of ``=  !=  <  <=  >  >=`` and ``value`` is the literal to
+    compare against.  Numeric-looking values compare numerically,
+    everything else lexicographically (sufficient for the workloads).
+    """
+
+    name: str
+    op: str | None = None
+    value: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op is not None and self.op not in _VALID_OPS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+        if (self.op is None) != (self.value is None):
+            raise ValueError("op and value must be provided together")
+
+    def __str__(self) -> str:
+        if self.op is None:
+            return f"@{self.name}"
+        return f"@{self.name}{self.op}'{self.value}'"
+
+    def matches(self, attributes: dict[str, str]) -> bool:
+        """Evaluate the constraint against a node's attribute dict."""
+        if self.name not in attributes:
+            return False
+        if self.op is None:
+            return True
+        actual = attributes[self.name]
+        expected = self.value or ""
+        try:
+            left: object = float(actual)
+            right: object = float(expected)
+        except ValueError:
+            left, right = actual, expected
+        if self.op == "=":
+            return left == right
+        if self.op == "!=":
+            return left != right
+        if self.op == "<":
+            return left < right  # type: ignore[operator]
+        if self.op == "<=":
+            return left <= right  # type: ignore[operator]
+        if self.op == ">":
+            return left > right  # type: ignore[operator]
+        return left >= right  # type: ignore[operator]

@@ -1,0 +1,107 @@
+"""Fluent construction of tree patterns.
+
+A small builder DSL for assembling patterns programmatically — test
+suites and view-generation code read better than string concatenation:
+
+    from repro.xpath.builder import step
+
+    pattern = (
+        step("s")                       # //s  (anchored anywhere)
+        .where(step.child("t"))         # [t]
+        .child("p")                     # /p   (answer node = path tail)
+        .build()
+    )
+    assert pattern == parse_xpath("s[t]/p")
+
+``step(label)`` starts a descendant-anchored pattern (paper convention);
+``step.root(label)`` anchors at the document root.  ``.child`` /
+``.descendant`` extend the spine, ``.where`` attaches branch
+predicates, ``.attr`` attaches attribute constraints, and ``.build``
+returns the :class:`~repro.xpath.pattern.TreePattern` with the spine
+tail as answer node (``.returning()`` marks an earlier spine node
+instead).
+"""
+
+from __future__ import annotations
+
+from .ast import Axis, AttributeConstraint
+from .pattern import PatternNode, TreePattern
+
+__all__ = ["step", "StepBuilder"]
+
+
+class StepBuilder:
+    """Immutable-ish builder; every call returns ``self`` for chaining.
+
+    Internally maintains the spine (list of nodes) plus the index of the
+    designated answer node.
+    """
+
+    def __init__(self, label: str, axis: Axis):
+        self._root = PatternNode(label, axis)
+        self._spine = [self._root]
+        self._ret_index: int | None = None
+
+    # -- spine ----------------------------------------------------------
+    def child(self, label: str) -> "StepBuilder":
+        """Extend the spine with a ``/``-step."""
+        self._spine.append(self._spine[-1].new_child(label, Axis.CHILD))
+        return self
+
+    def descendant(self, label: str) -> "StepBuilder":
+        """Extend the spine with a ``//``-step."""
+        self._spine.append(self._spine[-1].new_child(label, Axis.DESCENDANT))
+        return self
+
+    # -- predicates ------------------------------------------------------
+    def where(self, branch: "StepBuilder") -> "StepBuilder":
+        """Attach another builder's tree as a branch predicate of the
+        current spine tail.  The branch's root axis is preserved
+        (``step.child(...)`` → ``[x]``, ``step(...)`` → ``[.//x]``)."""
+        self._spine[-1].add_child(branch._root)
+        return self
+
+    def attr(
+        self, name: str, op: str | None = None, value: str | None = None
+    ) -> "StepBuilder":
+        """Attach an attribute constraint to the current spine tail."""
+        tail = self._spine[-1]
+        tail.constraints = tail.constraints + (
+            AttributeConstraint(name, op, value),
+        )
+        return self
+
+    # -- answer node -----------------------------------------------------
+    def returning(self) -> "StepBuilder":
+        """Mark the *current* spine tail as the answer node (default:
+        the final tail at :meth:`build` time)."""
+        self._ret_index = len(self._spine) - 1
+        return self
+
+    def build(self) -> TreePattern:
+        """Produce the pattern.  The builder must not be reused after."""
+        index = self._ret_index if self._ret_index is not None else -1
+        return TreePattern(self._root, self._spine[index])
+
+
+class _StepFactory:
+    """``step("a")`` / ``step.child("a")`` / ``step.root("a")``."""
+
+    def __call__(self, label: str) -> StepBuilder:
+        """Start a ``//``-anchored pattern (the paper's convention for
+        bare view definitions)."""
+        return StepBuilder(label, Axis.DESCENDANT)
+
+    @staticmethod
+    def child(label: str) -> StepBuilder:
+        """Start a ``/``-axis builder — as a ``.where`` branch this is a
+        plain child predicate ``[label]``."""
+        return StepBuilder(label, Axis.CHILD)
+
+    @staticmethod
+    def root(label: str) -> StepBuilder:
+        """Start an absolute ``/label`` pattern."""
+        return StepBuilder(label, Axis.CHILD)
+
+
+step = _StepFactory()

@@ -1,0 +1,42 @@
+"""Tree-pattern decomposition ``D(Q)`` (paper Section III-A).
+
+``D(Q)`` is the set of path patterns corresponding to the root-to-leaf
+paths of ``Q``, with duplicates removed.  Proposition 3.1 makes this the
+basis of view filtering: ``Q ⊑ V`` requires every path pattern of
+``D(V)`` to contain some path pattern of ``D(Q)``.
+"""
+
+from __future__ import annotations
+
+from .ast import Step
+from .pattern import PathPattern, TreePattern
+
+__all__ = ["decompose"]
+
+
+def decompose(pattern: TreePattern) -> list[PathPattern]:
+    """Return ``D(pattern)``: deduplicated root-to-leaf path patterns.
+
+    Order is deterministic (first occurrence in a depth-first traversal),
+    which keeps `LIST(P_i)` bookkeeping and tests stable.
+    """
+    paths: list[PathPattern] = []
+    seen: set[PathPattern] = set()
+    # Depth-first walk carrying the step prefix.
+    stack: list[tuple[object, tuple[Step, ...]]] = [
+        (pattern.root, (pattern.root.step(),))
+    ]
+    ordered: list[PathPattern] = []
+    while stack:
+        node, prefix = stack.pop()
+        children = node.children  # type: ignore[attr-defined]
+        if not children:
+            ordered.append(PathPattern(prefix))
+            continue
+        for child in reversed(children):
+            stack.append((child, prefix + (child.step(),)))
+    for path in ordered:
+        if path not in seen:
+            seen.add(path)
+            paths.append(path)
+    return paths

@@ -1,0 +1,72 @@
+"""Path-pattern normalization ``N(P)`` (paper Section III-C).
+
+A path pattern may contain runs of consecutive wildcard steps, e.g.
+``s/*//t``.  Many syntactically distinct placements of ``//`` around a
+wildcard run denote the same pattern: with ``j ≥ 1`` descendant edges
+among the run's ``n + 1`` edges, the constraint is exactly "at least
+``n`` arbitrary nodes between the anchors, at any depth ≥ n+1".  The
+paper normalizes by pushing a single ``//`` to the *front* of each run
+(early pruning in VFILTER) and turning every other edge of the run into
+``/``: ``s/*//t  →  s//*/t``.
+
+Proposition 3.2: two equivalent path patterns have the same normalized
+form — which is what eliminates VFILTER's false negatives, provided both
+the automaton's patterns and the probe patterns are normalized.
+"""
+
+from __future__ import annotations
+
+from .ast import Axis, Step, WILDCARD
+from .pattern import PathPattern
+
+__all__ = ["normalize", "is_normalized"]
+
+
+def normalize(path: PathPattern) -> PathPattern:
+    """Return ``N(path)``; the input is not modified.
+
+    Wildcard runs are maximal blocks of consecutive ``*`` steps.  For
+    each run, the edges considered are those entering the run's steps
+    plus the edge entering the following non-wildcard step (when the run
+    is not at the tail).  If any of them is ``//``, the first edge of the
+    run becomes ``//`` and all the others (including the edge into the
+    terminating label) become ``/``.
+    """
+    if all(step.label == WILDCARD for step in path.steps):
+        # Degenerate class: an all-wildcard path of k steps means
+        # "some node exists at depth ≥ k" *regardless of its axes*, so
+        # every spelling is equivalent; canonicalize to /*/*/.../*.
+        return PathPattern(
+            tuple(Step(Axis.CHILD, WILDCARD) for _ in path.steps)
+        )
+    steps = list(path.steps)
+    index = 0
+    while index < len(steps):
+        if steps[index].label != WILDCARD:
+            index += 1
+            continue
+        # Maximal wildcard run: steps[index .. end-1] are all '*'.
+        end = index
+        while end < len(steps) and steps[end].label == WILDCARD:
+            end += 1
+        # Edges of the run: axes of steps[index..end-1] plus the axis of
+        # the terminating labeled step (if any).
+        edge_slots = list(range(index, min(end + 1, len(steps))))
+        has_descendant = any(steps[slot].axis.is_descendant for slot in edge_slots)
+        # A trailing wildcard run is *always* gap-like: "k wildcards at
+        # the end" asserts only a descendant at depth ≥ k below the last
+        # label (l/* ≡ l//* — a child exists iff a descendant exists),
+        # so it is canonicalized to the //-led form regardless of axes.
+        if end == len(steps):
+            has_descendant = True
+        if has_descendant:
+            for slot in edge_slots:
+                axis = Axis.DESCENDANT if slot == index else Axis.CHILD
+                steps[slot] = Step(axis, steps[slot].label)
+        index = end + 1
+    return PathPattern(tuple(steps))
+
+
+def is_normalized(path: PathPattern) -> bool:
+    """Return True when ``normalize`` would leave ``path`` unchanged."""
+    return normalize(path) == path

@@ -1,0 +1,31 @@
+"""``STR(P)``: path pattern → token string for the VFILTER NFA.
+
+Paper Section III-B: "omit ``/`` and replace ``//`` by ``#``".  The NFA
+reads one token at a time; a token is either a label, the wildcard ``*``
+or the descendant marker ``#``.  ``b//s/p`` becomes ``('b', '#', 's',
+'p')``; the leading child axis of an absolute path contributes nothing.
+"""
+
+from __future__ import annotations
+
+from .pattern import PathPattern
+
+__all__ = ["DESCENDANT_TOKEN", "str_tokens", "str_text"]
+
+#: Token standing for a ``//`` edge in the NFA input alphabet.
+DESCENDANT_TOKEN = "#"
+
+
+def str_tokens(path: PathPattern) -> tuple[str, ...]:
+    """Return ``STR(path)`` as a token tuple."""
+    tokens: list[str] = []
+    for step in path.steps:
+        if step.axis.is_descendant:
+            tokens.append(DESCENDANT_TOKEN)
+        tokens.append(step.label)
+    return tuple(tokens)
+
+
+def str_text(path: PathPattern) -> str:
+    """Return ``STR(path)`` as a printable string (labels joined)."""
+    return "".join(str_tokens(path))

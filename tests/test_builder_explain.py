@@ -1,0 +1,147 @@
+"""Tests for the fluent pattern builder and the query explainer."""
+
+import pytest
+
+from repro import MaterializedViewSystem, build_tree, encode_tree, parse_xpath
+from repro.core import explain_query
+from repro.xpath import Axis
+from repro.xpath.builder import step
+
+
+class TestStepBuilder:
+    def test_paper_view_v1(self):
+        pattern = step("s").where(step.child("t")).child("p").build()
+        assert pattern == parse_xpath("s[t]/p")
+
+    def test_root_anchored(self):
+        pattern = step.root("a").child("b").build()
+        assert pattern == parse_xpath("/a/b")
+        assert pattern.root.axis is Axis.CHILD
+
+    def test_descendant_steps(self):
+        pattern = step("a").descendant("b").child("c").build()
+        assert pattern == parse_xpath("//a//b/c")
+
+    def test_descendant_branch(self):
+        pattern = step("a").where(step("c")).child("b").build()
+        assert pattern == parse_xpath("//a[.//c]/b")
+
+    def test_nested_branches(self):
+        branch = step.child("b").where(step.child("c"))
+        pattern = step("a").where(branch).child("d").build()
+        assert pattern == parse_xpath("//a[b[c]]/d")
+
+    def test_attribute_constraints(self):
+        pattern = step("item").attr("id", "=", "7").child("name").build()
+        assert pattern == parse_xpath("//item[@id='7']/name")
+        existence = step("item").attr("featured").build()
+        assert existence == parse_xpath("//item[@featured]")
+
+    def test_returning_marks_internal_answer(self):
+        pattern = step("a").child("b").returning().child("c").build()
+        # answer node is b; c is below the answer
+        assert pattern.ret.label == "b"
+        reparsed = parse_xpath(pattern.to_xpath())
+        assert reparsed == pattern
+
+    def test_default_answer_is_tail(self):
+        pattern = step("a").child("b").child("c").build()
+        assert pattern.ret.label == "c"
+
+    def test_predicates_on_intermediate_steps(self):
+        pattern = (
+            step("a").where(step.child("x"))
+            .child("b").where(step.child("y"))
+            .child("c").build()
+        )
+        assert pattern == parse_xpath("//a[x]/b[y]/c")
+
+    def test_builder_round_trips_through_xpath(self):
+        pattern = (
+            step.root("site").child("people").child("person")
+            .where(step.child("address").child("city"))
+            .attr("id")
+            .child("name").build()
+        )
+        assert parse_xpath(pattern.to_xpath()) == pattern
+
+
+@pytest.fixture
+def explained_system():
+    doc = encode_tree(build_tree(
+        ("b", ["t", ("s", ["t", "p", ("f", ["i"])])])
+    ))
+    system = MaterializedViewSystem(doc)
+    system.register_view("V1", "s[t]/p")
+    system.register_view("V4", "s[p]/f")
+    system.register_view("V9", "//a/zzz")  # never a candidate
+    return system
+
+
+class TestExplainQuery:
+    def test_answerable_query(self, explained_system):
+        explanation = explain_query(
+            explained_system, parse_xpath("s[f//i][t]/p")
+        )
+        assert explanation.answerable
+        assert explanation.paths == ["//s/f//i", "//s/t", "//s/p"]
+        assert explanation.obligations == ["i", "p", "t", "Δ"]
+        ids = [view.view_id for view in explanation.candidates]
+        assert ids == ["V1", "V4"]
+        assert explanation.filtered_view_count == 1
+        assert sorted(explanation.selections["MV"]) == ["V1", "V4"]
+        v1 = explanation.candidates[0]
+        assert v1.provides_delta
+        assert v1.fragment_count == 1
+
+    def test_unanswerable_query_reports_uncovered(self, explained_system):
+        explanation = explain_query(
+            explained_system, parse_xpath("s[f//i][t][zzz]/p")
+        )
+        assert not explanation.answerable
+        assert "zzz" in explanation.uncovered
+
+    def test_render_is_complete(self, explained_system):
+        explanation = explain_query(
+            explained_system, parse_xpath("s[f//i][t]/p")
+        )
+        text = explanation.render()
+        assert "selection MV" in text
+        assert "V1" in text and "V4" in text
+        assert "obligations" in text
+
+    def test_render_unanswerable(self, explained_system):
+        explanation = explain_query(explained_system, parse_xpath("//q/w"))
+        assert "UNANSWERABLE" in explanation.render()
+
+
+class TestExplainCLI:
+    def test_full_explain(self, tmp_path, capsys):
+        from repro.cli import main
+
+        book = tmp_path / "b.xml"
+        book.write_text("<b><t/><s><t/><p/><f><i/></f></s></b>")
+        code = main([
+            "explain", "s[f//i][t]/p",
+            "--document", str(book),
+            "--view", "V1=s[t]/p",
+            "--view", "V4=s[p]/f",
+            "--full",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selection MV" in out
+
+    def test_full_explain_unanswerable_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        book = tmp_path / "b.xml"
+        book.write_text("<b><t/><s><t/><p/></s></b>")
+        code = main([
+            "explain", "//q/w",
+            "--document", str(book),
+            "--view", "V1=s[t]/p",
+            "--full",
+        ])
+        assert code == 3
+        assert "UNANSWERABLE" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def book_xml(tmp_path):
+    path = tmp_path / "book.xml"
+    path.write_text(
+        "<b><t/><a/><s><t/><p/><f><i/></f></s>"
+        "<s><t/><p/><s><t/><p/><f><i/></f></s></s></b>",
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+@pytest.fixture
+def views_file(tmp_path):
+    path = tmp_path / "views.txt"
+    path.write_text(
+        "# the paper's views\nV1 s[t]/p\nV4 s[p]/f\n", encoding="utf-8"
+    )
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_document(self, tmp_path, capsys):
+        output = str(tmp_path / "doc.xml")
+        assert main(["generate", output, "--scale", "0.05"]) == 0
+        text = open(output).read()
+        assert text.startswith("<?xml")
+        assert "<site>" in text
+        assert "elements" in capsys.readouterr().out
+
+    def test_pretty(self, tmp_path):
+        output = str(tmp_path / "doc.xml")
+        assert main(["generate", output, "--scale", "0.05", "--pretty"]) == 0
+        assert "\n <regions>" in open(output).read()
+
+
+class TestAnswer:
+    def test_answer_with_check(self, book_xml, capsys):
+        code = main([
+            "answer", "s[f//i][t]/p",
+            "--document", book_xml,
+            "--view", "V1=s[t]/p",
+            "--view", "V4=s[p]/f",
+            "--check",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "direct-evaluation check: OK" in out
+        assert "V1" in out and "V4" in out
+
+    def test_answer_strategies(self, book_xml):
+        for strategy in ("HV", "MV", "MN", "CB"):
+            code = main([
+                "answer", "//s[t]/p",
+                "--document", book_xml,
+                "--view", "V1=s[t]/p",
+                "--strategy", strategy,
+                "--check",
+            ])
+            assert code == 0
+
+    def test_views_file(self, book_xml, views_file, capsys):
+        code = main([
+            "answer", "s[f//i][t]/p",
+            "--document", book_xml,
+            "--views", views_file,
+            "--check",
+        ])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_unanswerable_reports_error(self, book_xml, capsys):
+        code = main([
+            "answer", "//a//zzz",
+            "--document", book_xml,
+            "--view", "V1=s[t]/p",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_limit_truncates(self, book_xml, capsys):
+        code = main([
+            "answer", "//s/p",
+            "--document", book_xml,
+            "--view", "V=//s/p",
+            "--limit", "1",
+        ])
+        assert code == 0
+        assert "more" in capsys.readouterr().out
+
+
+class TestFilterAndExplain:
+    def test_filter(self, capsys):
+        code = main([
+            "filter", "s[f//i][t]/p",
+            "--view", "V1=s[t]/p",
+            "--view", "V3=s//*/t",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "candidates (1): ['V1']" in out
+        assert "LIST(" in out
+
+    def test_explain(self, capsys):
+        code = main([
+            "explain", "s[f//i][t]/p",
+            "--view", "V1=s[t]/p",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "obligations:" in out
+        assert "LC(V1" in out
+
+    def test_bad_view_option(self):
+        with pytest.raises(SystemExit):
+            main(["filter", "//a", "--view", "missing-equals"])
+
+    def test_no_views(self):
+        with pytest.raises(SystemExit):
+            main(["filter", "//a"])
+
+    def test_bad_views_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("only-one-token\n")
+        with pytest.raises(SystemExit):
+            main(["filter", "//a", "--views", str(path)])
+
+    def test_bad_query_reports_error(self, capsys):
+        code = main(["filter", "//a[", "--view", "V=//a"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

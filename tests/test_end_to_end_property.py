@@ -1,0 +1,93 @@
+"""Property-based end-to-end tests: the library's central invariants.
+
+1. **Rewriting correctness**: whenever the system deems a query
+   answerable from views, the rewritten answer equals direct evaluation
+   on the base document — for every strategy.
+2. **Baseline correctness**: BN and BF always equal direct evaluation.
+3. **Filter soundness**: VFILTER never drops a view that has a
+   homomorphism to the query.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import MaterializedViewSystem, encode_tree
+from repro.errors import ViewNotAnswerableError
+from repro.matching import has_homomorphism
+
+from conftest import random_pattern, random_tree
+
+
+def _build_system(seed: int, view_count: int = 6):
+    rng = random.Random(seed)
+    tree = random_tree(rng, max_nodes=30, max_depth=5)
+    doc = encode_tree(tree)
+    system = MaterializedViewSystem(doc)
+    for index in range(view_count):
+        system.register_view(f"v{index}", random_pattern(rng, max_nodes=4))
+    query = random_pattern(rng, max_nodes=5)
+    return system, query
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(0, 10**9))
+def test_rewriting_equals_direct_evaluation(seed):
+    system, query = _build_system(seed)
+    truth = system.direct_codes(query)
+    for strategy in ("HV", "MV", "MN", "CB"):
+        try:
+            outcome = system.answer(query, strategy)
+        except ViewNotAnswerableError:
+            continue
+        assert outcome.codes == truth, (
+            strategy,
+            query.to_xpath(mark_answer=True),
+            [v.to_xpath() for v in system.materialized_views()],
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_baselines_equal_direct_evaluation(seed):
+    system, query = _build_system(seed, view_count=0)
+    truth = system.direct_codes(query)
+    assert system.answer_bn(query).codes == truth
+    assert system.answer_bf(query).codes == truth
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_vfilter_soundness(seed):
+    system, query = _build_system(seed, view_count=8)
+    candidates = set(system.vfilter.filter(query).candidates)
+    for view in system.materialized_views():
+        if has_homomorphism(view.pattern, query):
+            assert view.view_id in candidates
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_contained_rewriting_is_contained(seed):
+    """answer_contained always returns a subset of the true answers,
+    and the full set when it reports exactness."""
+    system, query = _build_system(seed)
+    truth = set(system.direct_codes(query))
+    result = system.answer_contained(query)
+    assert set(result.codes) <= truth
+    if result.is_exact:
+        assert set(result.codes) == truth
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 10**9))
+def test_strategies_agree_on_answerability_success(seed):
+    """If MN answers, MV answers too (VFILTER keeps every usable view),
+    and both produce the same answer set."""
+    system, query = _build_system(seed)
+    try:
+        mn = system.answer(query, "MN")
+    except ViewNotAnswerableError:
+        return
+    mv = system.answer(query, "MV")
+    assert mv.codes == mn.codes

@@ -1,0 +1,112 @@
+"""Tests for the BN / BF base-data indexes."""
+
+import random
+
+import pytest
+
+from repro.matching import evaluate
+from repro.storage import FullPathIndex, NodeIndex, match_path_steps
+from repro.xmltree import build_tree
+from repro.xpath import Axis, parse_xpath
+
+from conftest import random_pattern, random_tree
+
+
+class TestMatchPathSteps:
+    def _steps(self, expression):
+        pattern = parse_xpath(expression)
+        return [(n.axis, n.label) for n in pattern.ret.root_path()]
+
+    @pytest.mark.parametrize(
+        "expression,path,expected",
+        [
+            ("/a/b", ("a", "b"), True),
+            ("/a/b", ("a", "b", "c"), False),  # whole path must be consumed
+            ("/a//c", ("a", "b", "c"), True),
+            ("/a//c", ("a", "c"), True),
+            ("/a//c", ("c",), False),
+            ("//c", ("a", "b", "c"), True),
+            ("/a/*/c", ("a", "b", "c"), True),
+            ("/a/*/c", ("a", "c"), False),
+            ("//*", ("anything",), True),
+            ("/a//b//b", ("a", "b", "b"), True),
+            ("/a//b//b", ("a", "b"), False),
+        ],
+    )
+    def test_cases(self, expression, path, expected):
+        assert match_path_steps(self._steps(expression), path) is expected
+
+
+@pytest.fixture
+def sample_tree():
+    return build_tree(
+        ("r", [
+            ("a", [("b", ["c"]), "d"]),
+            ("a", ["d", ("b", [])]),
+            ("x", [("a", [("b", ["c"])])]),
+        ])
+    )
+
+
+class TestNodeIndex:
+    def test_label_lists(self, sample_tree):
+        index = NodeIndex(sample_tree)
+        assert len(index.nodes_with_label("a")) == 3
+        assert index.nodes_with_label("zzz") == []
+
+    def test_universe_for_concrete_labels(self, sample_tree):
+        index = NodeIndex(sample_tree)
+        pattern = parse_xpath("//a/b")
+        universe = index.universe_for(pattern)
+        assert {node.label for node in universe} == {"a", "b"}
+
+    def test_universe_for_wildcard_is_everything(self, sample_tree):
+        index = NodeIndex(sample_tree)
+        pattern = parse_xpath("//a/*")
+        assert len(index.universe_for(pattern)) == sample_tree.size()
+
+    def test_evaluate_matches_truth(self, sample_tree):
+        index = NodeIndex(sample_tree)
+        for expr in ["//a/b/c", "/r/a/d", "//b", "//x//c", "//a[b]/d"]:
+            pattern = parse_xpath(expr)
+            assert index.evaluate(pattern) == evaluate(pattern, sample_tree)
+
+    def test_stored_bytes_positive(self, sample_tree):
+        assert NodeIndex(sample_tree).stored_bytes > 0
+
+
+class TestFullPathIndex:
+    def test_distinct_paths(self, sample_tree):
+        index = FullPathIndex(sample_tree)
+        assert ("r", "a", "b", "c") in index.distinct_paths()
+        assert len(index.nodes_on_path(("r", "a"))) == 2
+
+    def test_candidates_for_node(self, sample_tree):
+        index = FullPathIndex(sample_tree)
+        pattern = parse_xpath("/r/a/b")
+        candidates = index.candidates_for_node(pattern.ret)
+        assert all(node.label == "b" for node in candidates)
+        assert len(candidates) == 2  # excludes the b under x/a
+
+    def test_evaluate_matches_truth(self, sample_tree):
+        index = FullPathIndex(sample_tree)
+        for expr in ["//a/b/c", "/r/a/d", "//b", "//x//c", "//a[b]/d", "//*[b]"]:
+            pattern = parse_xpath(expr)
+            assert index.evaluate(pattern) == evaluate(pattern, sample_tree)
+
+    def test_bf_index_larger_than_bn(self, sample_tree):
+        bn = NodeIndex(sample_tree)
+        bf = FullPathIndex(sample_tree)
+        assert bf.stored_bytes >= bn.stored_bytes
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_indexes_agree_with_truth_on_random_inputs(seed):
+    rng = random.Random(seed)
+    tree = random_tree(rng, max_nodes=35)
+    bn, bf = NodeIndex(tree), FullPathIndex(tree)
+    for _ in range(5):
+        pattern = random_pattern(rng, max_nodes=5)
+        truth = evaluate(pattern, tree)
+        assert bn.evaluate(pattern) == truth
+        assert bf.evaluate(pattern) == truth

@@ -1,0 +1,209 @@
+"""Tests for leaf cover, obligations and answerability (Section IV-A)."""
+
+import pytest
+
+from repro.core import (
+    DELTA,
+    View,
+    coverage_units,
+    covers_query,
+    leaf_cover_labels,
+    obligations_of,
+    view_coverage,
+)
+from repro.core.leaf_cover import coverage_for_anchor
+from repro.matching import feasible_anchors
+from repro.xpath import parse_xpath
+
+
+class TestObligations:
+    def test_leaf_and_delta(self):
+        query = parse_xpath("s[f//i][t]/p")
+        labels = {str(o) for o in obligations_of(query)}
+        assert labels == {DELTA, "i", "t", "p"}
+
+    def test_attribute_obligations(self):
+        query = parse_xpath("//a[@id]/b")
+        kinds = {(o.kind, o.label) for o in obligations_of(query)}
+        assert ("attrs", "a") in kinds
+        assert ("leaf", "b") in kinds
+
+    def test_internal_nodes_not_leaves(self):
+        query = parse_xpath("/a/b/c")
+        leaf_labels = [o.label for o in obligations_of(query) if o.kind == "leaf"]
+        assert leaf_labels == ["c"]
+
+
+class TestPaperExamples:
+    """Example 4.3 / Equation 1 analogues."""
+
+    def test_lc_v1(self):
+        query = parse_xpath("s[f//i][t]/p")
+        assert leaf_cover_labels(View.from_xpath("V1", "s[t]/p"), query) == {
+            DELTA, "t", "p",
+        }
+
+    def test_lc_v4(self):
+        query = parse_xpath("s[f//i][t]/p")
+        assert leaf_cover_labels(View.from_xpath("V4", "s[p]/f"), query) == {
+            "i", "p",
+        }
+
+    def test_answerability_pair(self):
+        query = parse_xpath("s[f//i][t]/p")
+        v1 = View.from_xpath("V1", "s[t]/p")
+        v4 = View.from_xpath("V4", "s[p]/f")
+        units = coverage_units(v1, query) + coverage_units(v4, query)
+        assert covers_query(units, query)
+
+    def test_single_view_insufficient(self):
+        query = parse_xpath("s[f//i][t]/p")
+        v1 = View.from_xpath("V1", "s[t]/p")
+        assert not covers_query(coverage_units(v1, query), query)
+
+    def test_example_4_2_shared_parent_is_not_enough(self):
+        """The (V1,V2) ⊭ Q1 flavour: a view lacking the [c] predicate
+        cannot cover c's obligation."""
+        query = parse_xpath("//a[b[c]/d]/e[f]")
+        v2 = View.from_xpath("V2", "//a[b/d]/e")  # no [c]
+        covered = leaf_cover_labels(v2, query)
+        assert "c" not in covered
+
+    def test_equivalent_view_answers_alone(self):
+        query = parse_xpath("//a[b]/c")
+        view = View.from_xpath("V", "//a[b]/c")
+        assert covers_query(coverage_units(view, query), query)
+
+
+class TestDeltaCondition:
+    def test_anchor_at_answer(self):
+        query = parse_xpath("//a/b")
+        view = View.from_xpath("V", "//a/b")
+        units = coverage_units(view, query)
+        assert any(u.provides_delta for u in units)
+
+    def test_anchor_above_answer(self):
+        query = parse_xpath("//a/b/c")
+        view = View.from_xpath("V", "//a/b")  # returns b, ancestor of c
+        units = coverage_units(view, query)
+        assert any(u.provides_delta for u in units)
+        # everything under b is fragment-checkable
+        assert covers_query(units, query)
+
+    def test_anchor_beside_answer_no_delta(self):
+        query = parse_xpath("//a[f]/p")
+        view = View.from_xpath("V", "//a[p]/f")  # returns f, not ancestor of p
+        units = coverage_units(view, query)
+        assert not any(u.provides_delta for u in units)
+
+
+class TestPinningSoundness:
+    def test_descendant_spine_blocks_implication(self):
+        """V = //a[b]//d must not imply [b] for //a[b]/a/d: the b-host
+        is not pinned to the fragment root's chain."""
+        query = parse_xpath("//a[b]/a/d")
+        view = View.from_xpath("V", "//a[b]//d")
+        assert "b" not in leaf_cover_labels(view, query)
+
+    def test_child_spine_allows_implication(self):
+        query = parse_xpath("//a[b]/d")
+        view = View.from_xpath("V", "//a[b]/d")
+        assert "b" in leaf_cover_labels(view, query)
+
+    def test_whole_branch_implication_required(self):
+        """Partial branch matches must not count (shared intermediate)."""
+        query = parse_xpath("//a[b[c][d]]/e")
+        vy = View.from_xpath("VY", "//a[b[c]]/e")
+        vx = View.from_xpath("VX", "//a[b[d]]/e")
+        assert "c" not in leaf_cover_labels(vy, query)
+        assert "d" not in leaf_cover_labels(vx, query)
+        units = coverage_units(vy, query) + coverage_units(vx, query)
+        assert not covers_query(units, query)
+
+    def test_separate_branches_compose(self):
+        query = parse_xpath("//a[b[c]][b[d]]/e")
+        vy = View.from_xpath("VY", "//a[b[c]]/e")
+        vx = View.from_xpath("VX", "//a[b[d]]/e")
+        units = coverage_units(vy, query) + coverage_units(vx, query)
+        assert covers_query(units, query)
+
+    def test_wildcard_view_branch_does_not_imply_label(self):
+        query = parse_xpath("//a[b]/c")
+        view = View.from_xpath("V", "//a[*]/c")
+        assert "b" not in leaf_cover_labels(view, query)
+
+    def test_more_specific_view_cannot_answer(self):
+        """//a[*]/c is NOT contained in //a[b]/c, so the view has no
+        coverage at all (no homomorphism exists)."""
+        query = parse_xpath("//a[*]/c")
+        view = View.from_xpath("V", "//a[b]/c")
+        assert coverage_units(view, query) == []
+
+
+class TestAttributeCoverage:
+    def test_exact_constraint_implied(self):
+        query = parse_xpath("//a[@id='1']/b")
+        view = View.from_xpath("V", "//a[@id='1']/b")
+        assert covers_query(coverage_units(view, query), query)
+
+    def test_different_constraint_not_implied(self):
+        query = parse_xpath("//a[@id='1']/b")
+        view = View.from_xpath("V", "//a[@id='2']/b")
+        assert coverage_units(view, query) == []  # no homomorphism at all
+
+    def test_constraint_under_anchor_checkable(self):
+        query = parse_xpath("//a/b[@id='1']")
+        view = View.from_xpath("V", "//a/b")
+        assert covers_query(coverage_units(view, query), query)
+
+    def test_constraint_above_unpinned_anchor_not_covered(self):
+        # The view is strictly more general (no [d]), so the
+        # mutual-containment shortcut does not apply; the anchor b is
+        # reached via //, a is not pinned, @id not coverable.
+        query = parse_xpath("//a[@id='1']//b[d]")
+        view = View.from_xpath("V", "//a[@id='1']//b")
+        labels = {str(o) for u in coverage_units(view, query) for o in u.covered}
+        assert "@a" not in labels
+        assert "d" in labels  # under the anchor: fragment-checkable
+
+    def test_identical_view_covers_everything(self):
+        """Mutual containment: a view always answers itself, even with
+        predicates hanging off unpinned spine nodes."""
+        query = parse_xpath("//a[@id='1']//b")
+        view = View.from_xpath("V", "//a[@id='1']//b")
+        assert covers_query(coverage_units(view, query), query)
+
+    def test_equivalent_spelling_covers_everything(self):
+        query = parse_xpath("//n/*[c]//q")
+        view = View.from_xpath("V", "//n/*[c]//q")
+        assert covers_query(coverage_units(view, query), query)
+
+
+class TestCoverageUnits:
+    def test_one_unit_per_anchor(self):
+        query = parse_xpath("//a/a/b")
+        view = View.from_xpath("V", "//a")
+        units = coverage_units(view, query)
+        assert len(units) == 2
+        anchors = {u.anchor for u in units}
+        assert len(anchors) == 2
+
+    def test_units_empty_without_homomorphism(self):
+        query = parse_xpath("//x/y")
+        view = View.from_xpath("V", "//a/b")
+        assert coverage_units(view, query) == []
+
+    def test_view_coverage_unions_units(self):
+        query = parse_xpath("//a[b]/a/c")
+        view = View.from_xpath("V", "//a")
+        union = view_coverage(view, query)
+        per_unit = [u.covered for u in coverage_units(view, query)]
+        assert union == frozenset().union(*per_unit)
+
+    def test_coverage_for_anchor_direct(self):
+        query = parse_xpath("s[f//i][t]/p")
+        view = View.from_xpath("V4", "s[p]/f")
+        anchor = feasible_anchors(view.pattern, query)[0]
+        unit = coverage_for_anchor(view, query, anchor)
+        assert {str(o) for o in unit.covered} == {"i", "p"}
+        assert not unit.provides_delta

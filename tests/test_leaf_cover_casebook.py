@@ -1,0 +1,98 @@
+"""Leaf-cover casebook: a table of (view, query) → LC pairs.
+
+Each entry documents one distinct coverage behavior; together they form
+an executable specification of Section IV's criterion as implemented
+(with the pinning, whole-branch, and mutual-containment refinements of
+DESIGN.md §4).
+"""
+
+import pytest
+
+from repro.core import View, coverage_units, covers_query, leaf_cover_labels
+from repro.xpath import parse_xpath
+
+#: (view, query) → expected LC labels ("Δ" = answer obligation).
+CASEBOOK = [
+    # --- the paper's worked examples -------------------------------
+    ("s[t]/p", "s[f//i][t]/p", {"Δ", "t", "p"}),
+    ("s[p]/f", "s[f//i][t]/p", {"i", "p"}),
+    # --- delta conditions -------------------------------------------
+    # anchor at the answer
+    ("//a/b", "//a/b", {"Δ", "b"}),
+    # anchor above the answer: everything below is fragment-checkable
+    ("//a", "//a/b[c]", {"Δ", "c"}),
+    # anchor besides the answer: no delta, but the answer leaf is still
+    # certified via the pinned parent (exactly like the paper's
+    # LC(V4, Qe) = {i, p})
+    ("//a[p]/f", "//a[f]/p", {"p", "f"}),
+    # --- fragment-checkable predicates ------------------------------
+    # predicate below the answer is checkable on the fragment
+    ("//a/b", "//a/b[c][d]", {"Δ", "c", "d"}),
+    # deep predicate below the answer
+    ("//a/b", "//a/b[c//e]", {"Δ", "e"}),
+    # --- pinned implication ------------------------------------------
+    # /-spine: the branch is certified by the view definition
+    ("//a[b]/c", "//a[b][d]/c", {"Δ", "b", "c"}),
+    # two levels of /-spine
+    ("//a[x]/b[y]/c", "//a[x][q]/b[y]/c", {"Δ", "x", "y", "c"}),
+    # //-spine below the host breaks pinning
+    ("//a[b]//c", "//a[b]/a/c", {"Δ", "c"}),
+    # a deep concrete view branch implies shallower/looser query
+    # branches (unminimized query: [b/d] certifies [b] and [.//d] too)
+    ("//a[b/d]/c", "//a[b/d][b][.//d]/c", {"Δ", "d", "b", "c"}),
+    # a view more specific than the query has no homomorphism at all
+    ("//a[b/d]/c", "//a[.//d]/c", set()),
+    # child branch NOT implied by a descendant branch
+    ("//a[.//d]/c", "//a[d]/c", {"Δ", "c"}),
+    # --- whole-branch rule -------------------------------------------
+    # partial branch match does not cover the shared intermediate
+    ("//a[b[c]]/e", "//a[b[c][d]]/e", {"Δ", "e"}),
+    # the full branch does
+    ("//a[b[c][d]]/e", "//a[b[c][d]]/e", {"Δ", "c", "d", "e"}),
+    # --- wildcards -----------------------------------------------------
+    # view wildcard branch cannot certify a labeled query branch
+    ("//a[*]/c", "//a[b]/c", {"Δ", "c"}),
+    # a view wildcard branch certifies a query wildcard branch, but
+    # not a labeled one
+    ("//a[*]/c", "//a[*][d]/c", {"Δ", "*", "c"}),
+    # a labeled view branch cannot map onto a query wildcard (no hom)
+    ("//a[b]/c", "//a[*]/c", set()),
+    # --- mutual containment -------------------------------------------
+    # identical views cover everything even with unpinned predicates
+    ("//a[b]//c", "//a[b]//c", {"Δ", "b", "c"}),
+    ("//n/*[c]//q", "//n/*[c]//q", {"Δ", "c", "q"}),
+]
+
+
+@pytest.mark.parametrize("view_expr,query_expr,expected", CASEBOOK)
+def test_leaf_cover_casebook(view_expr, query_expr, expected):
+    view = View.from_xpath("V", view_expr)
+    query = parse_xpath(query_expr)
+    assert leaf_cover_labels(view, query) == expected, (view_expr, query_expr)
+
+
+#: (views, query, answerable?) — composition cases.
+ANSWERABILITY = [
+    (["s[t]/p", "s[p]/f"], "s[f//i][t]/p", True),
+    (["s[t]/p"], "s[f//i][t]/p", False),
+    (["//a[b]/e", "//a[c]/e", "//a[d]/e"], "//a[b][c][d]/e", True),
+    (["//a[b]/e", "//a[c]/e"], "//a[b][c][d]/e", False),
+    # delta missing: both views return non-ancestors of the answer
+    (["//a[c]/b"], "//a[b]/c", False),
+    # delta from one, predicate from the other
+    (["//a/c", "//a[b]/c"], "//a[b]/c", True),
+    # shared-intermediate trap must stay unanswerable
+    (["//a[b[c]]/e", "//a[b[d]]/e"], "//a[b[c][d]]/e", False),
+    (["//a[b[c]]/e", "//a[b[d]]/e"], "//a[b[c]][b[d]]/e", True),
+    # a view equivalent to the query answers alone
+    (["//a[b]//c"], "//a[b]//c", True),
+]
+
+
+@pytest.mark.parametrize("view_exprs,query_expr,expected", ANSWERABILITY)
+def test_answerability_casebook(view_exprs, query_expr, expected):
+    query = parse_xpath(query_expr)
+    units = []
+    for index, expression in enumerate(view_exprs):
+        units.extend(coverage_units(View.from_xpath(f"V{index}", expression), query))
+    assert covers_query(units, query) is expected, (view_exprs, query_expr)

@@ -1,0 +1,171 @@
+"""Tests for view maintenance under base-document updates."""
+
+import random
+
+import pytest
+
+from repro import MaterializedViewSystem, encode_tree
+from repro.core import DocumentEditor
+from repro.errors import EncodingError
+from repro.xmltree import XMLNode, build_tree
+
+from conftest import random_pattern, random_tree
+
+
+def _book_system():
+    doc = encode_tree(build_tree(
+        ("b", ["t", ("s", ["t", "p"]), ("s", ["t", "p", ("f", ["i"])])])
+    ))
+    system = MaterializedViewSystem(doc)
+    system.register_view("V1", "//s[t]/p")
+    system.register_view("V2", "//s[f//i]/p")
+    system.register_view("VT", "//b/t")
+    return system
+
+
+class TestInsert:
+    def test_insert_updates_answers(self):
+        system = _book_system()
+        editor = DocumentEditor(system)
+        before = system.answer("//s[f//i]/p").codes
+        assert len(before) == 1
+        # give the first section a figure with an image
+        first_s = system.document.tree.root.children[1]
+        figure = XMLNode("f")
+        figure.new_child("i")
+        report = editor.insert_subtree(first_s.dewey, figure)
+        assert "V2" in report.affected_views
+        after = system.answer("//s[f//i]/p")
+        assert after.codes == system.direct_codes("//s[f//i]/p")
+        assert len(after.codes) == 2
+
+    def test_unrelated_views_skipped(self):
+        system = _book_system()
+        editor = DocumentEditor(system)
+        first_s = system.document.tree.root.children[1]
+        figure = XMLNode("f")
+        figure.new_child("i")
+        report = editor.insert_subtree(first_s.dewey, figure)
+        # VT (//b/t) matches neither f nor i, and no t-fragment contains
+        # the insertion point.
+        assert "VT" in report.skipped_views
+
+    def test_fragment_content_refresh_without_answer_change(self):
+        """Inserting below an existing answer must refresh that view's
+        fragments even though its answer set is unchanged."""
+        system = _book_system()
+        editor = DocumentEditor(system)
+        p_code = system.answer("//s[t]/p").codes[0]
+        report = editor.insert_subtree(p_code, XMLNode("t"))
+        assert "V1" in report.affected_views  # fragment grew
+        # the compensating query //s[t]/p[t] now matches via fragments
+        assert system.direct_codes("//s[t]/p[t]") == [p_code]
+        outcome = system.try_answer("//s[t]/p[t]")
+        assert outcome is not None and outcome.codes == [p_code]
+
+    def test_existing_codes_stable_on_schema_compatible_insert(self):
+        system = _book_system()
+        editor = DocumentEditor(system)
+        codes_before = {
+            id(n): n.dewey for n in system.document.tree.iter_nodes()
+        }
+        first_s = system.document.tree.root.children[1]
+        editor.insert_subtree(first_s.dewey, XMLNode("p"))
+        for node in system.document.tree.iter_nodes():
+            if id(node) in codes_before:
+                assert node.dewey == codes_before[id(node)]
+
+    def test_schema_violating_insert_reencodes(self):
+        system = _book_system()
+        editor = DocumentEditor(system)
+        first_s = system.document.tree.root.children[1]
+        report = editor.insert_subtree(first_s.dewey, XMLNode("zzz"))
+        assert report.full_reencode
+        # new label usable in queries afterwards
+        assert len(system.direct_codes("//s/zzz")) == 1
+        for node in system.document.tree.iter_nodes():
+            assert system.document.fst.decode(node.dewey) == node.label_path()
+
+    def test_bad_parent_code(self):
+        system = _book_system()
+        with pytest.raises(EncodingError):
+            DocumentEditor(system).insert_subtree((9, 9, 9), XMLNode("x"))
+
+    def test_attached_subtree_rejected(self):
+        system = _book_system()
+        child = system.document.tree.root.children[0]
+        with pytest.raises(ValueError):
+            DocumentEditor(system).insert_subtree((0,), child)
+
+
+class TestDelete:
+    def test_delete_updates_answers(self):
+        system = _book_system()
+        editor = DocumentEditor(system)
+        figure = system.direct_codes("//s/f")[0]
+        report = editor.delete_subtree(figure)
+        assert "V2" in report.affected_views
+        assert system.direct_codes("//s[f//i]/p") == []
+        outcome = system.try_answer("//s[f//i]/p")
+        assert outcome is not None and outcome.codes == []
+
+    def test_delete_root_rejected(self):
+        system = _book_system()
+        with pytest.raises(ValueError):
+            DocumentEditor(system).delete_subtree((0,))
+
+    def test_missing_code_rejected(self):
+        system = _book_system()
+        with pytest.raises(EncodingError):
+            DocumentEditor(system).delete_subtree((0, 99))
+
+    def test_baseline_indexes_refreshed(self):
+        system = _book_system()
+        editor = DocumentEditor(system)
+        system.answer_bn("//s/p")  # build BN
+        target = system.direct_codes("//s/p")[0]
+        editor.delete_subtree(target)
+        truth = system.direct_codes("//s/p")
+        assert system.answer_bn("//s/p").codes == truth
+        assert system.answer_bf("//s/p").codes == truth
+
+
+class TestRandomizedMaintenance:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_answers_stay_correct_under_edits(self, seed):
+        rng = random.Random(seed)
+        tree = random_tree(rng, max_nodes=25, max_depth=4)
+        system = MaterializedViewSystem(encode_tree(tree))
+        for index in range(5):
+            system.register_view(f"v{index}", random_pattern(rng, max_nodes=4))
+        editor = DocumentEditor(system)
+
+        for _ in range(4):
+            nodes = list(system.document.tree.iter_nodes())
+            if rng.random() < 0.6 or len(nodes) < 4:
+                parent = rng.choice(nodes)
+                child = XMLNode(rng.choice("abcde"))
+                if rng.random() < 0.4:
+                    child.new_child(rng.choice("abcde"))
+                editor.insert_subtree(parent.dewey, child)
+            else:
+                victim = rng.choice(
+                    [n for n in nodes if n.parent is not None]
+                )
+                editor.delete_subtree(victim.dewey)
+
+            query = random_pattern(rng, max_nodes=4)
+            truth = system.direct_codes(query)
+            outcome = system.try_answer(query, "HV")
+            if outcome is not None:
+                assert outcome.codes == truth
+            for view in system.materialized_views():
+                # every materialized view's fragments reflect the data
+                stored = set(system.fragments.codes(view.view_id))
+                from repro.matching import evaluate as evaluate_
+
+                fresh = {
+                    n.dewey
+                    for n in evaluate_(view.pattern, system.document.tree)
+                }
+                assert stored == fresh, view.to_xpath()

@@ -1,0 +1,153 @@
+"""Tests for multiple-view selection: MN/MV exhaustive and HV heuristic."""
+
+import pytest
+
+from repro.core import VFilter, View, select_heuristic, select_minimum
+from repro.core.leaf_cover import coverage_units, covers_query
+from repro.errors import ViewNotAnswerableError
+from repro.xpath import parse_xpath
+
+
+def _views(*expressions):
+    return [View.from_xpath(f"V{i}", e) for i, e in enumerate(expressions)]
+
+
+def _heuristic(views, query, size_of=None):
+    vfilter = VFilter()
+    vfilter.add_views(views)
+    result = vfilter.filter(query)
+    lookup = {view.view_id: view for view in views}
+    return select_heuristic(result, lookup.__getitem__, query, size_of)
+
+
+class TestSelectMinimum:
+    def test_single_equivalent_view_wins(self):
+        query = parse_xpath("//a[b]/c")
+        views = _views("//a[b]/c", "//a/c", "//a[b]")
+        selection = select_minimum(views, query)
+        assert selection.view_ids == ["V0"]
+
+    def test_two_view_minimum(self):
+        query = parse_xpath("s[f//i][t]/p")
+        views = _views("s[t]/p", "s[p]/f", "//s//t")
+        selection = select_minimum(views, query)
+        assert sorted(selection.view_ids) == ["V0", "V1"]
+
+    def test_three_view_minimum(self):
+        query = parse_xpath("//a[b][c][d]/e")
+        views = _views("//a[b]/e", "//a[c]/e", "//a[d]/e")
+        selection = select_minimum(views, query)
+        assert len(selection.views) == 3
+
+    def test_prefers_fewer_views_over_sizes(self):
+        query = parse_xpath("//a[b][c]/e")
+        views = _views("//a[b][c]/e", "//a[b]/e", "//a[c]/e")
+        sizes = {"V0": 1000, "V1": 1, "V2": 1}
+        selection = select_minimum(views, query, sizes.__getitem__)
+        assert selection.view_ids == ["V0"]
+
+    def test_size_breaks_ties(self):
+        query = parse_xpath("//a[b]/e")
+        views = _views("//a[b]/e", "//a[b]/e")
+        sizes = {"V0": 1000, "V1": 10}
+        selection = select_minimum(views, query, sizes.__getitem__)
+        assert selection.view_ids == ["V1"]
+
+    def test_unanswerable_reports_uncovered(self):
+        query = parse_xpath("s[f//i][t]/p")
+        views = _views("s[t]/p")
+        with pytest.raises(ViewNotAnswerableError) as info:
+            select_minimum(views, query)
+        assert {str(o) for o in info.value.uncovered} == {"i"}
+
+    def test_delta_required(self):
+        query = parse_xpath("//a[b]/c")
+        # covers leaves but no view returns c or an ancestor
+        views = _views("//a[c]/b")
+        with pytest.raises(ViewNotAnswerableError):
+            select_minimum(views, query)
+
+    def test_no_views_at_all(self):
+        with pytest.raises(ViewNotAnswerableError):
+            select_minimum([], parse_xpath("//a"))
+
+    def test_selection_units_cover_query(self):
+        query = parse_xpath("s[f//i][t]/p")
+        views = _views("s[t]/p", "s[p]/f")
+        selection = select_minimum(views, query)
+        assert covers_query(selection.units, query)
+        assert selection.delta_units()
+
+
+class TestSelectHeuristic:
+    def test_matches_paper_example_4_3(self):
+        query = parse_xpath("s[f//i][t]/p")
+        views = [
+            View.from_xpath("V1", "s[t]/p"),
+            View.from_xpath("V2", "s[.//f]/p"),
+            View.from_xpath("V3", "s//*/t"),
+            View.from_xpath("V4", "s[p]/f"),
+        ]
+        selection = _heuristic(views, query)
+        assert sorted(selection.view_ids) == ["V1", "V4"]
+
+    def test_returns_minimal_set(self):
+        """The heuristic result must be minimal: no proper subset of it
+        answers the query."""
+        query = parse_xpath("//a[b][c][d]/e")
+        views = _views("//a[b][c]/e", "//a[c][d]/e", "//a[b]/e", "//a[d]/e")
+        selection = _heuristic(views, query)
+        assert covers_query(selection.units, query)
+        for dropped in selection.views:
+            remaining = [v for v in selection.views if v is not dropped]
+            units = [
+                unit
+                for view in remaining
+                for unit in coverage_units(view, query)
+            ]
+            assert not covers_query(units, query)
+
+    def test_prefers_longer_paths(self):
+        """LIST(P_i) ordering: the deeper view is tried first (its
+        fragments are smaller)."""
+        query = parse_xpath("//a/b/c")
+        views = _views("//c", "//a/b/c")
+        selection = _heuristic(views, query)
+        assert selection.view_ids == ["V1"]
+
+    def test_ensures_delta_provider(self):
+        query = parse_xpath("//a[b]/c")
+        # V0 covers leaf b and c via implication but returns b;
+        # V1 returns c (delta) only.
+        views = _views("//a[c]/b", "//a/c")
+        selection = _heuristic(views, query)
+        assert covers_query(selection.units, query)
+        assert any(unit.provides_delta for unit in selection.units)
+
+    def test_unanswerable(self):
+        query = parse_xpath("s[f//i][t]/p")
+        views = _views("s[t]/p")
+        with pytest.raises(ViewNotAnswerableError):
+            _heuristic(views, query)
+
+    def test_redundant_views_removed(self):
+        query = parse_xpath("//a[b]/c")
+        views = _views("//a[b]/c", "//a/c", "//a[b]/*")
+        selection = _heuristic(views, query)
+        assert len(selection.views) == 1
+
+    def test_attribute_obligation_selected(self):
+        query = parse_xpath("//a[@id='7'][b]/c")
+        views = _views("//a[@id='7']/c", "//a[b]/c")
+        selection = _heuristic(views, query)
+        assert covers_query(selection.units, query)
+        assert len(selection.views) == 2
+
+
+class TestStrategyAgreement:
+    def test_minimum_never_larger_than_heuristic(self):
+        query = parse_xpath("//a[b][c]/e")
+        views = _views("//a[b][c]/e", "//a[b]/e", "//a[c]/e", "//e")
+        minimum = select_minimum(views, query)
+        heuristic = _heuristic(views, query)
+        assert len(minimum.views) <= len(heuristic.views)

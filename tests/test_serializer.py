@@ -1,0 +1,101 @@
+"""Dedicated serializer tests (escaping, pretty-printing, round trips)."""
+
+import random
+
+import pytest
+
+from repro.xmltree import (
+    XMLNode,
+    XMLTree,
+    build_tree,
+    parse_xml,
+    serialize,
+    serialize_node,
+)
+
+from conftest import random_tree
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        node = XMLNode("a", text="1 < 2 & 3 > 0")
+        rendered = serialize_node(node)
+        assert "&lt;" in rendered and "&amp;" in rendered and "&gt;" in rendered
+        again = parse_xml(rendered)
+        assert again.root.text == "1 < 2 & 3 > 0"
+
+    def test_attribute_escapes(self):
+        node = XMLNode("a", attributes={"v": 'say "hi" & <bye>'})
+        rendered = serialize_node(node)
+        assert "&quot;" in rendered
+        again = parse_xml(rendered)
+        assert again.root.attributes["v"] == 'say "hi" & <bye>'
+
+    def test_unicode_passthrough(self):
+        node = XMLNode("a", text="héllo ✓ 漢字")
+        again = parse_xml(serialize_node(node))
+        assert again.root.text == "héllo ✓ 漢字"
+
+
+class TestShapes:
+    def test_self_closing_leaf(self):
+        assert serialize_node(XMLNode("a")) == "<a/>"
+
+    def test_leaf_with_text(self):
+        assert serialize_node(XMLNode("a", text="x")) == "<a>x</a>"
+
+    def test_leaf_with_attrs(self):
+        assert serialize_node(XMLNode("a", attributes={"k": "v"})) == '<a k="v"/>'
+
+    def test_nested(self):
+        tree = build_tree(("a", [("b", ["c"]), "d"]))
+        assert serialize_node(tree.root) == "<a><b><c/></b><d/></a>"
+
+    def test_document_declaration(self):
+        tree = XMLTree(XMLNode("a"))
+        assert serialize(tree).startswith('<?xml version="1.0"')
+
+
+class TestPrettyPrinting:
+    def test_indentation_levels(self):
+        tree = build_tree(("a", [("b", ["c"])]))
+        rendered = serialize_node(tree.root, indent=2)
+        lines = rendered.splitlines()
+        assert lines[0] == "<a>"
+        assert lines[1] == "  <b>"
+        assert lines[2] == "    <c/>"
+        assert lines[3] == "  </b>"
+        assert lines[4] == "</a>"
+
+    def test_pretty_round_trips(self):
+        tree = build_tree(("a", [("b", ["c", "d"]), ("e", [])]))
+        tree.root.children[1].text = "words here"
+        again = parse_xml(serialize(tree, indent=4))
+        assert again.root.structurally_equal(tree.root)
+
+
+class TestRoundTripProperty:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_trees_round_trip(self, seed):
+        rng = random.Random(seed)
+        tree = random_tree(rng, max_nodes=50)
+        # decorate with text/attributes
+        for index, node in enumerate(tree.iter_nodes()):
+            if index % 3 == 0:
+                node.text = f"text {index} <&>"
+            if index % 4 == 0:
+                node.attributes["n"] = str(index)
+        for indent in (None, 2):
+            rendered = serialize(tree, indent=indent)
+            again = parse_xml(rendered)
+            assert again.root.structurally_equal(tree.root), indent
+
+    def test_deep_tree_no_recursion_error(self):
+        node = XMLNode("a")
+        root = node
+        for _ in range(4000):
+            node = node.new_child("a")
+        rendered = serialize_node(root)
+        assert rendered.count("<a>") == 4000
+        again = parse_xml(rendered)
+        assert again.size() == 4001

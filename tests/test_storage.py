@@ -1,0 +1,262 @@
+"""Tests for the storage substrate: serialization, KV store, fragments."""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StorageCorruptionError, StorageError
+from repro.storage import (
+    FragmentStore,
+    KVStore,
+    decode_dewey,
+    decode_fragment,
+    decode_text,
+    decode_varint,
+    encode_dewey,
+    encode_fragment,
+    encode_text,
+    encode_varint,
+)
+from repro.xmltree import XMLNode, build_tree
+
+from conftest import random_tree
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**21, 2**40])
+    def test_roundtrip(self, value):
+        data = encode_varint(value)
+        decoded, offset = decode_varint(data, 0)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_rejects_negative(self):
+        with pytest.raises(StorageError):
+            encode_varint(-1)
+
+    def test_truncated(self):
+        with pytest.raises(StorageError):
+            decode_varint(b"\x80", 0)
+
+    @given(st.integers(0, 2**62))
+    def test_roundtrip_property(self, value):
+        decoded, _ = decode_varint(encode_varint(value), 0)
+        assert decoded == value
+
+
+class TestTextAndDewey:
+    @given(st.text(max_size=60))
+    def test_text_roundtrip(self, value):
+        decoded, _ = decode_text(encode_text(value), 0)
+        assert decoded == value
+
+    @given(st.lists(st.integers(0, 10_000), min_size=0, max_size=10))
+    def test_dewey_roundtrip(self, components):
+        code = tuple(components)
+        decoded, _ = decode_dewey(encode_dewey(code), 0)
+        assert decoded == code
+
+    def test_truncated_string(self):
+        data = encode_text("hello")[:-2]
+        with pytest.raises(StorageError):
+            decode_text(data, 0)
+
+
+class TestFragmentSerialization:
+    def test_roundtrip_structure(self):
+        tree = build_tree(("a", [("b", ["c", "d"]), "e"]))
+        tree.root.attributes["id"] = "1"
+        tree.root.children[1].text = "some text"
+        data = encode_fragment(tree.root)
+        again, offset = decode_fragment(data)
+        assert offset == len(data)
+        assert again.structurally_equal(tree.root)
+
+    def test_roundtrip_preserves_sibling_order(self):
+        root = XMLNode("r")
+        for label in "cba":
+            root.new_child(label)
+        again, _ = decode_fragment(encode_fragment(root))
+        assert [child.label for child in again.children] == list("cba")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_roundtrip_random_trees(self, seed):
+        tree = random_tree(random.Random(seed), max_nodes=40)
+        again, _ = decode_fragment(encode_fragment(tree.root))
+        assert again.structurally_equal(tree.root)
+
+    def test_unicode_and_escaping(self):
+        node = XMLNode("α", text="ünïcode ✓", attributes={"k": "v&<>'\""})
+        again, _ = decode_fragment(encode_fragment(node))
+        assert again.structurally_equal(node)
+
+
+class TestKVStore:
+    def test_in_memory_basics(self):
+        store = KVStore()
+        assert store.in_memory
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert b"k" in store and b"missing" not in store
+        assert len(store) == 1
+        assert store.delete(b"k")
+        assert not store.delete(b"k")
+        assert store.get(b"k") is None
+
+    def test_overwrite_updates_size(self):
+        store = KVStore()
+        store.put(b"k", b"1234")
+        store.put(b"k", b"12")
+        assert store.stored_bytes == len(b"k") + 2
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = str(tmp_path / "db")
+        with KVStore(path) as store:
+            store.put(b"a", b"1")
+            store.put(b"b", b"2")
+            store.delete(b"a")
+        with KVStore(path) as store:
+            assert store.get(b"a") is None
+            assert store.get(b"b") == b"2"
+            assert len(store) == 1
+
+    def test_recovery_truncates_torn_tail(self, tmp_path):
+        path = str(tmp_path / "db")
+        with KVStore(path) as store:
+            store.put(b"a", b"1")
+        with open(path, "ab") as handle:
+            handle.write(b"\x01\x02\x03")  # torn partial record
+        with KVStore(path) as store:
+            assert store.get(b"a") == b"1"
+            store.put(b"b", b"2")
+        with KVStore(path) as store:
+            assert store.get(b"b") == b"2"
+
+    def test_corruption_detected(self, tmp_path):
+        path = str(tmp_path / "db")
+        with KVStore(path) as store:
+            store.put(b"a", b"abcdefgh")
+        data = bytearray(open(path, "rb").read())
+        data[-3] ^= 0xFF  # flip a payload byte under the CRC
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(StorageCorruptionError):
+            KVStore(path)
+
+    def test_compaction_reclaims_space(self, tmp_path):
+        path = str(tmp_path / "db")
+        with KVStore(path) as store:
+            for round_ in range(20):
+                store.put(b"k", f"value-{round_}".encode())
+            before = store.file_bytes
+            store.compact()
+            after = store.file_bytes
+            assert after < before
+            assert store.get(b"k") == b"value-19"
+        with KVStore(path) as store:
+            assert store.get(b"k") == b"value-19"
+
+    def test_scan_prefix(self):
+        store = KVStore()
+        store.put(b"x:1", b"a")
+        store.put(b"x:2", b"b")
+        store.put(b"y:1", b"c")
+        found = dict(store.scan_prefix(b"x:"))
+        assert found == {b"x:1": b"a", b"x:2": b"b"}
+
+    @pytest.mark.parametrize("persistent", [False, True])
+    def test_random_operations_match_dict(self, tmp_path, persistent):
+        path = str(tmp_path / "db") if persistent else None
+        rng = random.Random(11)
+        store = KVStore(path)
+        model: dict[bytes, bytes] = {}
+        for _ in range(300):
+            key = f"k{rng.randrange(20)}".encode()
+            action = rng.random()
+            if action < 0.6:
+                value = os.urandom(rng.randrange(0, 30))
+                store.put(key, value)
+                model[key] = value
+            elif action < 0.8:
+                assert store.get(key) == model.get(key)
+            else:
+                assert store.delete(key) == (key in model)
+                model.pop(key, None)
+        assert {k: store.get(k) for k in model} == model
+        assert len(store) == len(model)
+        store.close()
+
+
+class TestFragmentStore:
+    def _entries(self, tree):
+        from repro.xmltree import encode_tree
+
+        doc = encode_tree(tree)
+        return [(node.dewey, node) for node in tree.iter_nodes()
+                if node.label == "b"], doc
+
+    def test_materialize_and_read_back(self):
+        tree = build_tree(("r", [("a", [("b", ["c"])]), ("b", ["d"])]))
+        entries, _doc = self._entries(tree)
+        store = FragmentStore()
+        assert store.materialize("v", entries)
+        fragments = store.fragments("v")
+        assert [f.code for f in fragments] == sorted(e[0] for e in entries)
+        assert fragments[0].root.label == "b"
+        assert store.fragment_count("v") == 2
+        assert store.fragment_bytes("v") > 0
+        assert store.is_materialized("v")
+
+    def test_cap_marks_view_unusable(self):
+        tree = build_tree(("r", [("b", ["c"] * 50)]))
+        entries, _doc = self._entries(tree)
+        store = FragmentStore(cap_bytes=10)
+        assert not store.materialize("big", entries)
+        assert store.is_capped("big")
+        assert not store.is_materialized("big")
+        assert store.fragments("big") == []
+
+    def test_duplicate_view_rejected(self):
+        store = FragmentStore()
+        store.materialize("v", [])
+        with pytest.raises(StorageError):
+            store.materialize("v", [])
+
+    def test_drop(self):
+        tree = build_tree(("r", [("b", ["c"])]))
+        entries, _doc = self._entries(tree)
+        store = FragmentStore()
+        store.materialize("v", entries)
+        store.drop("v")
+        assert store.fragments("v") == []
+        assert store.view_ids() == []
+        store.drop("v")  # idempotent
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "frags")
+        tree = build_tree(("r", [("b", ["c"]), ("b", [])]))
+        entries, _doc = self._entries(tree)
+        with KVStore(path) as kv:
+            store = FragmentStore(kv)
+            store.materialize("v", entries)
+        with KVStore(path) as kv:
+            store = FragmentStore(kv)
+            assert store.is_materialized("v")
+            assert len(store.fragments("v")) == 2
+            assert store.fragments("v")[0].root.label == "b"
+
+    def test_codes_sorted(self):
+        tree = build_tree(("r", [("b", []), ("a", [("b", [])])]))
+        from repro.xmltree import encode_tree
+
+        encode_tree(tree)
+        entries = [
+            (node.dewey, node)
+            for node in reversed(list(tree.iter_nodes()))
+            if node.label == "b"
+        ]
+        store = FragmentStore()
+        store.materialize("v", entries)
+        codes = store.codes("v")
+        assert codes == sorted(codes)

@@ -1,0 +1,108 @@
+"""Tests for the TJFast-style leaf-stream evaluation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import MaterializedViewSystem, encode_tree
+from repro.matching import evaluate, leaf_streams, tjfast_evaluate
+from repro.xmltree import build_tree
+from repro.xpath import parse_xpath
+
+from conftest import random_pattern, random_tree
+
+
+@pytest.fixture
+def doc():
+    return encode_tree(build_tree(
+        ("r", [
+            ("a", [("b", ["c"]), "d"]),
+            ("a", ["d", ("b", [])]),
+            ("x", [("a", [("b", ["c", "d"])])]),
+        ])
+    ))
+
+
+class TestLeafStreams:
+    def test_streams_sorted_and_complete(self, doc):
+        pattern = parse_xpath("//a[b]/d")
+        streams = leaf_streams(pattern, doc)
+        assert len(streams) == 2
+        for codes in streams.values():
+            assert codes == sorted(codes)
+        b_leaf = next(l for l in pattern.leaves() if l.label == "b")
+        assert len(streams[id(b_leaf)]) == 3
+
+    def test_wildcard_leaf_streams_everything(self, doc):
+        pattern = parse_xpath("//a/*")
+        streams = leaf_streams(pattern, doc)
+        (codes,) = streams.values()
+        assert len(codes) == doc.tree.size()
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "//a/b/c",
+            "//a[b]/d",
+            "//a[b/c][d]",
+            "/r/a/d",
+            "//x//b/d",
+            "//*[b]/d",
+            "//a[.//c]",
+            "/r//a[b][d]",
+        ],
+    )
+    def test_matches_evaluator(self, doc, expression):
+        pattern = parse_xpath(expression)
+        truth = {n.dewey for n in evaluate(pattern, doc.tree)}
+        assert tjfast_evaluate(pattern, doc) == truth
+
+    def test_empty_result(self, doc):
+        assert tjfast_evaluate(parse_xpath("//zzz"), doc) == set()
+        assert tjfast_evaluate(parse_xpath("//a[zzz]/b"), doc) == set()
+
+    def test_attribute_constraints(self):
+        tree = build_tree(("r", [("a", ["b"]), ("a", ["b"])]))
+        tree.root.children[0].attributes["id"] = "1"
+        doc = encode_tree(tree)
+        pattern = parse_xpath("//a[@id='1']/b")
+        truth = {n.dewey for n in evaluate(pattern, tree)}
+        assert tjfast_evaluate(pattern, doc) == truth
+        assert len(truth) == 1
+
+    def test_single_path_query(self, doc):
+        pattern = parse_xpath("//a/b")
+        truth = {n.dewey for n in evaluate(pattern, doc.tree)}
+        assert tjfast_evaluate(pattern, doc) == truth
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_agreement(self, seed):
+        rng = random.Random(seed)
+        tree = random_tree(rng, max_nodes=30)
+        doc_ = encode_tree(tree)
+        for _ in range(3):
+            pattern = random_pattern(rng, max_nodes=5)
+            truth = {n.dewey for n in evaluate(pattern, tree)}
+            assert tjfast_evaluate(pattern, doc_) == truth
+
+
+class TestSystemIntegration:
+    def test_answer_tj(self, doc):
+        system = MaterializedViewSystem(doc)
+        outcome = system.answer_tj("//a[b]/d")
+        assert outcome.strategy == "TJ"
+        assert outcome.codes == system.direct_codes("//a[b]/d")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 10**9))
+def test_hypothesis_tjfast_equals_evaluator(seed):
+    rng = random.Random(seed)
+    tree = random_tree(rng, max_nodes=22)
+    doc_ = encode_tree(tree)
+    pattern = random_pattern(rng, max_nodes=5)
+    truth = {n.dewey for n in evaluate(pattern, tree)}
+    assert tjfast_evaluate(pattern, doc_) == truth

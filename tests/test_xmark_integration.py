@@ -1,0 +1,109 @@
+"""End-to-end integration over the XMark workload (slow-ish, realistic)."""
+
+import pytest
+
+from repro.bench.workloads import SEED_VIEWS, TEST_QUERIES
+from repro.core.system import MaterializedViewSystem
+from repro.workload import (
+    QueryGenConfig,
+    QueryGenerator,
+    generate_positive,
+    generate_xmark_document,
+)
+
+
+@pytest.fixture(scope="module")
+def xmark_system():
+    document = generate_xmark_document(scale=0.5, seed=42)
+    system = MaterializedViewSystem(document)
+    for view_id, expression in SEED_VIEWS.items():
+        system.register_view(view_id, expression)
+    generator = QueryGenerator(
+        document.schema,
+        QueryGenConfig(max_depth=4, prob_wild=0.2, prob_desc=0.2,
+                       num_pred=0, num_nestedpath=1),
+        seed=42,
+    )
+    for index, pattern in enumerate(
+        generate_positive(generator, document.tree, 60)
+    ):
+        system.register_view(f"G{index}", pattern)
+    return system
+
+
+class TestTableIIIQueries:
+    @pytest.mark.parametrize("query_id", list(TEST_QUERIES))
+    @pytest.mark.parametrize("strategy", ["HV", "MV", "CB"])
+    def test_all_strategies_correct(self, xmark_system, query_id, strategy):
+        expression, _expected = TEST_QUERIES[query_id]
+        truth = xmark_system.direct_codes(expression)
+        outcome = xmark_system.answer(expression, strategy)
+        assert outcome.codes == truth
+        assert truth, "test query should have answers"
+
+    @pytest.mark.parametrize("query_id", list(TEST_QUERIES))
+    def test_expected_view_counts(self, xmark_system, query_id):
+        expression, expected = TEST_QUERIES[query_id]
+        outcome = xmark_system.answer(expression, "MV")
+        assert len(outcome.view_ids) == expected
+
+    @pytest.mark.parametrize("query_id", list(TEST_QUERIES))
+    def test_baselines_agree(self, xmark_system, query_id):
+        expression, _ = TEST_QUERIES[query_id]
+        truth = xmark_system.direct_codes(expression)
+        assert xmark_system.answer_bn(expression).codes == truth
+        assert xmark_system.answer_bf(expression).codes == truth
+        assert xmark_system.answer_tj(expression).codes == truth
+
+
+class TestGeneratedWorkload:
+    def test_generated_views_answer_themselves(self, xmark_system):
+        """Every materialized generated view, posed as a query, is
+        answered equivalently (often by itself)."""
+        checked = 0
+        for view in xmark_system.materialized_views()[:25]:
+            if not view.view_id.startswith("G"):
+                continue
+            outcome = xmark_system.try_answer(view.pattern, "HV")
+            assert outcome is not None, view.to_xpath()
+            assert outcome.codes == xmark_system.direct_codes(view.pattern)
+            checked += 1
+        assert checked >= 10
+
+    def test_random_queries_sound(self, xmark_system):
+        """Generated probe queries: whenever answerable, the answer is
+        exact; contained rewriting is always a lower bound."""
+        generator = QueryGenerator(
+            xmark_system.document.schema,
+            QueryGenConfig(max_depth=4, prob_wild=0.1, prob_desc=0.3,
+                           num_pred=0, num_nestedpath=1),
+            seed=777,
+        )
+        answered = 0
+        for pattern in generator.generate_many(40):
+            truth = xmark_system.direct_codes(pattern)
+            outcome = xmark_system.try_answer(pattern, "HV")
+            if outcome is not None:
+                assert outcome.codes == truth
+                answered += 1
+            contained = xmark_system.answer_contained(pattern)
+            assert set(contained.codes) <= set(truth)
+        assert answered >= 3
+
+    def test_lookup_faster_than_mn(self, xmark_system):
+        """Sanity on the Figure 9 claim at test scale: HV lookup beats
+        MN lookup for a multi-view query."""
+        expression, _ = TEST_QUERIES["Q4"]
+        hv = xmark_system.answer(expression, "HV")
+        mn = xmark_system.answer(expression, "MN")
+        assert hv.lookup_seconds < mn.lookup_seconds
+
+    def test_explain_matches_answer(self, xmark_system):
+        from repro.core import explain_query
+        from repro.xpath import parse_xpath
+
+        expression, _ = TEST_QUERIES["Q2"]
+        explanation = explain_query(xmark_system, parse_xpath(expression))
+        assert explanation.answerable
+        outcome = xmark_system.answer(expression, "HV")
+        assert sorted(explanation.selections["HV"]) == sorted(outcome.view_ids)

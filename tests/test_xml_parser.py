@@ -1,0 +1,133 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmltree import parse_xml, parse_xml_file, serialize
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        tree = parse_xml("<a/>")
+        assert tree.root.label == "a"
+        assert tree.root.is_leaf()
+
+    def test_nested_elements(self):
+        tree = parse_xml("<a><b><c/></b><d/></a>")
+        assert [n.label for n in tree.iter_nodes()] == list("abcd")
+
+    def test_text_content(self):
+        tree = parse_xml("<a>hello world</a>")
+        assert tree.root.text == "hello world"
+
+    def test_text_is_stripped(self):
+        tree = parse_xml("<a>\n  spaced  \n</a>")
+        assert tree.root.text == "spaced"
+
+    def test_empty_element_has_no_text(self):
+        tree = parse_xml("<a></a>")
+        assert tree.root.text is None
+
+    def test_attributes_double_and_single_quotes(self):
+        tree = parse_xml("""<a id="1" name='x y'/>""")
+        assert tree.root.attributes == {"id": "1", "name": "x y"}
+
+    def test_attribute_entities(self):
+        tree = parse_xml('<a v="&lt;&amp;&gt;"/>')
+        assert tree.root.attributes["v"] == "<&>"
+
+    def test_text_entities(self):
+        tree = parse_xml("<a>&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos;</a>")
+        assert tree.root.text == "<tag> & \"x\" 'y'"
+
+    def test_numeric_character_references(self):
+        tree = parse_xml("<a>&#65;&#x42;</a>")
+        assert tree.root.text == "AB"
+
+    def test_comment_skipped(self):
+        tree = parse_xml("<a><!-- comment <b/> --><c/></a>")
+        assert [n.label for n in tree.iter_nodes()] == ["a", "c"]
+
+    def test_processing_instruction_skipped(self):
+        tree = parse_xml("<?xml version='1.0'?><a/>")
+        assert tree.root.label == "a"
+
+    def test_doctype_skipped(self):
+        tree = parse_xml("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>")
+        assert tree.root.label == "a"
+
+    def test_cdata_becomes_text(self):
+        tree = parse_xml("<a><![CDATA[<raw> & text]]></a>")
+        assert tree.root.text == "<raw> & text"
+
+    def test_mixed_children_and_text(self):
+        tree = parse_xml("<a>pre<b/>post</a>")
+        assert tree.root.text == "prepost"
+        assert len(tree.root.children) == 1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "document",
+        [
+            "",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "</a>",
+            "<a/><b/>",
+            "<a><b></a></b>",
+            "<a attr=></a>",
+            "<a attr='x' attr='y'/>",
+            "<a>&unknown;</a>",
+            "<a>&brokenentity</a>",
+            "<!-- unterminated",
+            "<a><![CDATA[open</a>",
+            "<1tag/>",
+        ],
+    )
+    def test_malformed_documents_raise(self, document):
+        with pytest.raises(XMLParseError):
+            parse_xml(document)
+
+    def test_error_carries_position(self):
+        try:
+            parse_xml("<a><b></c></a>")
+        except XMLParseError as error:
+            assert error.position is not None
+        else:  # pragma: no cover
+            pytest.fail("expected XMLParseError")
+
+
+class TestRoundTrip:
+    def test_serialize_then_parse_is_identity(self):
+        document = (
+            '<site a="1"><x>text &amp; more</x><y id="2"><z/></y></site>'
+        )
+        tree = parse_xml(document)
+        again = parse_xml(serialize(tree))
+        assert tree.root.structurally_equal(again.root)
+
+    def test_pretty_print_round_trips(self):
+        tree = parse_xml("<a><b>bee</b><c d='e'/></a>")
+        again = parse_xml(serialize(tree, indent=2))
+        assert tree.root.structurally_equal(again.root)
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b/></a>", encoding="utf-8")
+        tree = parse_xml_file(str(path))
+        assert tree.size() == 2
+
+
+class TestLargeDocuments:
+    def test_deep_nesting_no_recursion_limit(self):
+        depth = 5000
+        document = "<a>" * depth + "</a>" * depth
+        tree = parse_xml(document)
+        assert tree.size() == depth
+
+    def test_wide_document(self):
+        document = "<a>" + "<b/>" * 2000 + "</a>"
+        tree = parse_xml(document)
+        assert len(tree.root.children) == 2000

@@ -1,0 +1,155 @@
+"""Unit tests for the XML tree model."""
+
+import pytest
+
+from repro.xmltree import XMLNode, XMLTree, build_tree
+
+
+class TestXMLNode:
+    def test_requires_label(self):
+        with pytest.raises(ValueError):
+            XMLNode("")
+
+    def test_add_child_sets_parent(self):
+        parent = XMLNode("a")
+        child = parent.new_child("b")
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_add_child_rejects_attached_node(self):
+        parent = XMLNode("a")
+        child = parent.new_child("b")
+        other = XMLNode("c")
+        with pytest.raises(ValueError):
+            other.add_child(child)
+
+    def test_detach(self):
+        parent = XMLNode("a")
+        child = parent.new_child("b")
+        child.detach()
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_depth_and_ancestors(self):
+        tree = build_tree(("a", [("b", [("c", ["d"])])]))
+        d = tree.root.children[0].children[0].children[0]
+        assert d.depth() == 3
+        assert [n.label for n in d.ancestors()] == ["c", "b", "a"]
+        assert [n.label for n in d.ancestors_or_self()] == ["d", "c", "b", "a"]
+
+    def test_ancestry_predicates(self):
+        tree = build_tree(("a", [("b", ["c"]), "d"]))
+        a = tree.root
+        b = a.children[0]
+        c = b.children[0]
+        d = a.children[1]
+        assert a.is_ancestor_of(c)
+        assert not c.is_ancestor_of(a)
+        assert not b.is_ancestor_of(d)
+        assert b.is_ancestor_or_self_of(b)
+        assert not b.is_ancestor_of(b)
+
+    def test_label_path(self):
+        tree = build_tree(("a", [("b", ["c"])]))
+        c = tree.root.children[0].children[0]
+        assert c.label_path() == ("a", "b", "c")
+
+    def test_iter_subtree_document_order(self):
+        tree = build_tree(("a", [("b", ["c", "d"]), "e"]))
+        assert [n.label for n in tree.root.iter_subtree()] == list("abcde")
+
+    def test_iter_descendants_skips_self(self):
+        tree = build_tree(("a", ["b"]))
+        assert [n.label for n in tree.root.iter_descendants()] == ["b"]
+
+    def test_find_children(self):
+        tree = build_tree(("a", ["b", "c", "b"]))
+        assert len(tree.root.find_children("b")) == 2
+        assert tree.root.find_children("z") == []
+
+    def test_subtree_size(self):
+        tree = build_tree(("a", [("b", ["c"]), "d"]))
+        assert tree.root.subtree_size() == 4
+        assert tree.root.children[0].subtree_size() == 2
+
+    def test_structural_equality_is_unordered(self):
+        first = build_tree(("a", ["b", ("c", ["d"])])).root
+        second = build_tree(("a", [("c", ["d"]), "b"])).root
+        assert first.structurally_equal(second)
+
+    def test_structural_equality_detects_difference(self):
+        first = build_tree(("a", ["b", "b"])).root
+        second = build_tree(("a", ["b", "c"])).root
+        assert not first.structurally_equal(second)
+
+    def test_structural_equality_multiset_children(self):
+        # Two b's vs one b + one c with swapped multiplicity.
+        first = build_tree(("a", [("b", ["x"]), ("b", [])])).root
+        second = build_tree(("a", [("b", []), ("b", ["x"])])).root
+        assert first.structurally_equal(second)
+
+    def test_canonical_signature_matches_structural_equality(self):
+        first = build_tree(("a", ["b", ("c", ["d"])])).root
+        second = build_tree(("a", [("c", ["d"]), "b"])).root
+        third = build_tree(("a", ["b", ("c", ["e"])])).root
+        assert first.canonical_signature() == second.canonical_signature()
+        assert first.canonical_signature() != third.canonical_signature()
+
+    def test_text_and_attributes_in_equality(self):
+        first = XMLNode("a", text="x", attributes={"k": "1"})
+        second = XMLNode("a", text="x", attributes={"k": "1"})
+        third = XMLNode("a", text="y", attributes={"k": "1"})
+        assert first.structurally_equal(second)
+        assert not first.structurally_equal(third)
+
+
+class TestXMLTree:
+    def test_root_must_be_detached(self):
+        parent = XMLNode("a")
+        child = parent.new_child("b")
+        with pytest.raises(ValueError):
+            XMLTree(child)
+
+    def test_size_height_labels(self):
+        tree = build_tree(("a", [("b", ["c"]), "d"]))
+        assert tree.size() == 4
+        assert tree.height() == 2
+        assert tree.labels() == frozenset("abcd")
+
+    def test_bfs_order(self):
+        tree = build_tree(("a", [("b", ["d"]), ("c", ["e"])]))
+        assert [n.label for n in tree.iter_bfs()] == list("abcde")
+
+    def test_label_index_and_invalidation(self):
+        tree = build_tree(("a", ["b", "b"]))
+        assert len(tree.nodes_with_label("b")) == 2
+        tree.root.new_child("b")
+        # Stale until invalidated.
+        assert len(tree.nodes_with_label("b")) == 2
+        tree.invalidate_indexes()
+        assert len(tree.nodes_with_label("b")) == 3
+
+    def test_select(self):
+        tree = build_tree(("a", ["b", ("c", ["b"])]))
+        found = tree.select(lambda n: n.label == "b")
+        assert len(found) == 2
+
+    def test_node_at_with_dewey(self, book_doc):
+        tree = book_doc.tree
+        for node in tree.iter_nodes():
+            assert tree.node_at(node.dewey) is node
+        assert tree.node_at((0, 99)) is None
+        assert tree.node_at((1,)) is None
+
+
+class TestBuildTree:
+    def test_leaf_shorthand(self):
+        tree = build_tree("a")
+        assert tree.root.label == "a"
+        assert tree.root.is_leaf()
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(ValueError):
+            build_tree(("a", ["b"], "extra"))
+        with pytest.raises(ValueError):
+            build_tree(123)

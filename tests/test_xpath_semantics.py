@@ -1,0 +1,124 @@
+"""XPath-fragment semantics conformance suite.
+
+Table-driven cases over small documents; every case states the exact
+answer set (as label/position pairs), and each is *also* cross-checked
+against the brute-force embedding enumerator and the TJFast evaluator,
+so the three implementations must agree case by case.
+"""
+
+import pytest
+
+from repro.matching import evaluate, tjfast_evaluate
+from repro.xmltree import build_tree, encode_tree
+from repro.xpath import parse_xpath
+
+from conftest import brute_force_answers
+
+# One shared document exercising depth, repetition and recursion:
+#
+#   r
+#   ├── a₁ ── b₁ ── c₁
+#   │      └─ d₁
+#   ├── a₂ ── a₃ ── b₂ ── d₂
+#   │      └─ c₂
+#   └── b₃ ── a₄ ── c₃
+DOC = ("r", [
+    ("a", [("b", ["c", "d"])]),
+    ("a", [("a", [("b", ["d"])]), "c"]),
+    ("b", [("a", ["c"])]),
+])
+
+#: expression → list of (label, extended-Dewey) answers.  Node key:
+#: a1=0.0, b1=0.0.0, c1=0.0.0.0, d1=0.0.0.1; a2=0.2, a3=0.2.1,
+#: b2=0.2.1.0, d2=0.2.1.0.1, c2=0.2.2; b3=0.3, a4=0.3.2, c3=0.3.2.2.
+CASES = {
+    # axes
+    "/r": ["r:0"],
+    "//r": ["r:0"],
+    "/r/a": ["a:0.0", "a:0.2"],
+    "//a": ["a:0.0", "a:0.2", "a:0.2.1", "a:0.3.2"],
+    "/r//a": ["a:0.0", "a:0.2", "a:0.2.1", "a:0.3.2"],
+    "//a/a": ["a:0.2.1"],
+    "//a//a": ["a:0.2.1"],
+    "/a": [],
+    # wildcards
+    "/r/*": ["a:0.0", "a:0.2", "b:0.3"],
+    "//a/*": ["b:0.0.0", "a:0.2.1", "c:0.2.2", "b:0.2.1.0", "c:0.3.2.2"],
+    "/*/*/c": ["c:0.2.2"],
+    "//*[c]": ["b:0.0.0", "a:0.2", "a:0.3.2"],
+    # predicates
+    "//a[b]": ["a:0.0", "a:0.2.1"],
+    "//a[b][c]": [],
+    "//a[b/c]": ["a:0.0"],
+    "//a[b/d]": ["a:0.0", "a:0.2.1"],
+    "//a[.//d]": ["a:0.0", "a:0.2", "a:0.2.1"],
+    "//a[.//d][c]": ["a:0.2"],
+    "//r[a]/b": ["b:0.3"],
+    # answers below predicated nodes
+    "//a[c]/b/d": [],  # a[c] = a2, a4; neither has a b child
+    "//a[.//c]//d": ["d:0.0.0.1", "d:0.2.1.0.1"],
+    # deep chains
+    "//a/b/c": ["c:0.0.0.0"],
+    "//b//c": ["c:0.0.0.0", "c:0.3.2.2"],
+    "//b/*": ["c:0.0.0.0", "d:0.0.0.1", "d:0.2.1.0.1", "a:0.3.2"],
+    # mixed
+    "/r/b/a/c": ["c:0.3.2.2"],
+    "/r/*[a]": ["a:0.2", "b:0.3"],
+    "//*[a/b]/c": ["c:0.2.2"],
+}
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return encode_tree(build_tree(DOC))
+
+
+def _answers(doc, expression):
+    pattern = parse_xpath(expression)
+    return {
+        f"{node.label}:{'.'.join(map(str, node.dewey))}"
+        for node in evaluate(pattern, doc.tree)
+    }
+
+
+@pytest.mark.parametrize("expression,expected", sorted(CASES.items()))
+def test_expected_answers(doc, expression, expected):
+    assert _answers(doc, expression) == set(expected), expression
+
+
+@pytest.mark.parametrize("expression", sorted(CASES))
+def test_three_evaluators_agree(doc, expression):
+    pattern = parse_xpath(expression)
+    reference = brute_force_answers(pattern, doc.tree)
+    assert evaluate(pattern, doc.tree) == reference
+    assert tjfast_evaluate(pattern, doc) == {
+        node.dewey for node in reference
+    }
+
+
+class TestAnswerNodePlacement:
+    """The same structure with different answer nodes."""
+
+    def test_answer_at_root_of_pattern(self, doc):
+        assert _answers(doc, "//a[b/c]") == {"a:0.0"}
+
+    def test_answer_mid_pattern(self, doc):
+        # //a/b with b the answer vs //a[b] with a the answer
+        assert _answers(doc, "//a/b") == {"b:0.0.0", "b:0.2.1.0"}
+
+    def test_answer_under_predicate_host(self, doc):
+        assert _answers(doc, "//a[c]/a/b") == {"b:0.2.1.0"}
+
+
+class TestBooleanOnlyDistinctions:
+    """Patterns equivalent as booleans but different as queries."""
+
+    def test_same_boolean_different_answers(self, doc):
+        from repro.matching import evaluate_boolean
+
+        first = parse_xpath("//a[b]")
+        second = parse_xpath("//a/b")
+        assert evaluate_boolean(first, doc.tree) == evaluate_boolean(
+            second, doc.tree
+        )
+        assert _answers(doc, "//a[b]") != _answers(doc, "//a/b")
