@@ -1,0 +1,205 @@
+"""Hot-path benchmark: cold vs warm answer latency under a skewed
+(Zipf-like) repeated-query workload.
+
+Serving heavy repeated traffic is the ROADMAP's north star; this
+benchmark measures what the plan cache + coverage memo buy on exactly
+that shape of workload:
+
+1. **baseline** — every distinct query answered once through a raw
+   re-derivation pipeline equivalent to the pre-cache code path (parse,
+   VFILTER, selection, rewrite; no memo, no plan cache).  This is the
+   "no new layer" reference for the cold-overhead claim.
+2. **cold** — the same distinct queries answered once each on a caching
+   system: every call is a plan-cache miss, so (cold − baseline) is
+   the overhead the caching layer adds to first-time queries.
+3. **warm** — a skewed replay (rank weight ``1/rank^1.1``) of many
+   thousands of samples over the same pool: nearly every call is a
+   plan-cache hit.
+
+Every answer — baseline, cold, and warm — is checked byte-identical
+(identical sorted Dewey code lists) against the baseline run's answer
+for that query, so the cache can never trade correctness for speed.
+
+Run as a script (writes ``BENCH_hot_path.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_hot_path.py
+
+Environment knobs: ``REPRO_BENCH_SCALE`` (default 4.0),
+``REPRO_BENCH_HOT_VIEWS`` (default 1000), ``REPRO_BENCH_HOT_SAMPLES``
+(default 2000).  Under pytest a small configuration runs with relaxed
+timing thresholds (machine-dependent numbers are for the script run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+
+from repro.bench import build_environment
+from repro.core.selection import select_heuristic
+from repro.core.rewrite import rewrite
+from repro.xpath.parser import parse_xpath
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_hot_path.json")
+
+ZIPF_EXPONENT = 1.1
+
+
+def _answer_uncached(system, expression: str):
+    """The seed repository's HV answering pipeline, re-derived per call:
+    no parse cache benefit (pattern object is rebuilt), no coverage
+    memo, no plan cache.  Reference for the cold-overhead measurement."""
+    pattern = parse_xpath(expression)
+    filter_result = system.vfilter.filter(pattern)
+    selection = select_heuristic(
+        filter_result,
+        system.view,
+        pattern,
+        system.fragments.fragment_bytes,
+    )
+    result = rewrite(
+        selection,
+        pattern,
+        system.fragments,
+        system.document.schema,
+        system.document.fst,
+    )
+    return result.codes
+
+
+def _zipf_weights(count: int) -> list[float]:
+    return [1.0 / (rank ** ZIPF_EXPONENT) for rank in range(1, count + 1)]
+
+
+def build_query_pool(system, distinct: int, seed: int) -> list[str]:
+    """Distinct answerable queries: the four paper test queries plus a
+    sample of materialized view definitions (every view answers itself,
+    so the pool is answerable by construction and mirrors dashboards
+    re-asking the questions the views were built for)."""
+    from repro.bench.workloads import TEST_QUERIES
+
+    pool = [expression for expression, _ in TEST_QUERIES.values()]
+    rng = random.Random(seed)
+    views = system.materialized_views()
+    rng.shuffle(views)
+    for view in views:
+        if len(pool) >= distinct:
+            break
+        expression = view.to_xpath()
+        if expression not in pool:
+            pool.append(expression)
+    return pool[:distinct]
+
+
+def run_hot_path(
+    scale: float,
+    view_count: int,
+    distinct: int,
+    samples: int,
+    seed: int = 42,
+) -> dict:
+    setup_started = time.perf_counter()
+    env = build_environment(scale=scale, view_count=view_count, seed=seed)
+    setup_seconds = time.perf_counter() - setup_started
+    system = env.system
+    pool = build_query_pool(system, distinct, seed)
+
+    # Phase 1: baseline — raw pipeline, one pass over the pool.
+    truth: dict[str, list] = {}
+    baseline_seconds = 0.0
+    for expression in pool:
+        started = time.perf_counter()
+        codes = _answer_uncached(system, expression)
+        baseline_seconds += time.perf_counter() - started
+        truth[expression] = list(codes)
+
+    # Phase 2: cold — caching layer on, every query a plan-cache miss.
+    cold_seconds = 0.0
+    for expression in pool:
+        started = time.perf_counter()
+        outcome = system.answer(expression, "HV")
+        cold_seconds += time.perf_counter() - started
+        assert not outcome.plan_cache_hit, "cold pass must miss the cache"
+        assert outcome.codes == truth[expression], (
+            f"cold answer differs from baseline for {expression!r}"
+        )
+
+    # Phase 3: warm — skewed replay; nearly every call is a hit.
+    rng = random.Random(seed + 1)
+    replay = rng.choices(pool, weights=_zipf_weights(len(pool)), k=samples)
+    warm_seconds = 0.0
+    warm_calls = 0
+    for expression in replay:
+        started = time.perf_counter()
+        outcome = system.answer(expression, "HV")
+        warm_seconds += time.perf_counter() - started
+        warm_calls += 1
+        assert outcome.plan_cache_hit, "replay after cold pass must hit"
+        assert outcome.codes == truth[expression], (
+            f"warm answer differs from baseline for {expression!r}"
+        )
+
+    stats = system.stats()
+    assert stats["plan_cache"]["hits"] >= warm_calls
+
+    baseline_mean = baseline_seconds / len(pool)
+    cold_mean = cold_seconds / len(pool)
+    warm_mean = warm_seconds / warm_calls
+    return {
+        "config": {
+            "scale": scale,
+            "views_registered": stats["views"]["registered"],
+            "views_materialized": stats["views"]["materialized"],
+            "distinct_queries": len(pool),
+            "replay_samples": samples,
+            "zipf_exponent": ZIPF_EXPONENT,
+            "seed": seed,
+        },
+        "setup_seconds": round(setup_seconds, 3),
+        "baseline_cold_ms": round(baseline_mean * 1e3, 4),
+        "cold_ms": round(cold_mean * 1e3, 4),
+        "warm_ms": round(warm_mean * 1e3, 4),
+        "warm_speedup_vs_cold": round(cold_mean / warm_mean, 1),
+        "cold_overhead_vs_baseline_pct": round(
+            (cold_mean / baseline_mean - 1.0) * 100, 2
+        ),
+        "answers_byte_identical": True,
+        "plan_cache": stats["plan_cache"],
+        "coverage_memo": stats["coverage_memo"],
+    }
+
+
+def test_hot_path_small():
+    """Pytest entry: small configuration, correctness + a conservative
+    speedup bound (timing assertions stay loose off the record run)."""
+    report = run_hot_path(scale=0.4, view_count=80, distinct=12, samples=400)
+    assert report["answers_byte_identical"]
+    assert report["plan_cache"]["hits"] > 0
+    assert report["warm_speedup_vs_cold"] >= 2.0
+
+
+def main() -> int:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "4.0"))
+    view_count = int(os.environ.get("REPRO_BENCH_HOT_VIEWS", "1000"))
+    samples = int(os.environ.get("REPRO_BENCH_HOT_SAMPLES", "2000"))
+    report = run_hot_path(
+        scale=scale, view_count=view_count, distinct=40, samples=samples
+    )
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {RESULT_PATH}")
+    # Acceptance: warm repeats ≥ 5× faster than cold, identical answers,
+    # nonzero hits on the warm run.
+    assert report["warm_speedup_vs_cold"] >= 5.0, report["warm_speedup_vs_cold"]
+    assert report["plan_cache"]["hits"] > 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,8 +66,11 @@ def build_environment(
 
     generator = QueryGenerator(document.schema, PROCESSING_CONFIG, seed=seed)
     patterns = generate_positive(generator, document.tree, view_count)
-    for index, pattern in enumerate(patterns):
-        system.register_view(f"G{index}", pattern)
+    # Bulk registration takes the process-pool fast path when the
+    # machine has spare cores; falls back to serial transparently.
+    system.register_views(
+        {f"G{index}": pattern for index, pattern in enumerate(patterns)}
+    )
 
     environment = BenchEnvironment(
         document, system, system.view_count, dict(TEST_QUERIES)

@@ -65,9 +65,11 @@ def _build_system(arguments: argparse.Namespace) -> MaterializedViewSystem:
         tree = generate_xmark(scale=arguments.scale, seed=arguments.seed)
     document = encode_tree(tree)
     system = MaterializedViewSystem(document)
-    for view_id, expression in _load_views(arguments).items():
-        fitted = system.register_view(view_id, expression)
-        if not fitted:
+    views = _load_views(arguments)
+    workers = getattr(arguments, "workers", None)
+    fitted = set(system.register_views(views, workers=workers))
+    for view_id in views:
+        if view_id not in fitted:
             print(f"note: view {view_id} exceeds the fragment cap; excluded",
                   file=sys.stderr)
     return system
@@ -87,15 +89,39 @@ def _cmd_answer(arguments: argparse.Namespace) -> int:
     started = time.perf_counter()
     outcome = system.answer(arguments.query, arguments.strategy)
     elapsed = time.perf_counter() - started
+    warm_elapsed: float | None = None
+    if arguments.repeat > 1:
+        warm_started = time.perf_counter()
+        for _ in range(arguments.repeat - 1):
+            outcome = system.answer(arguments.query, arguments.strategy)
+        warm_elapsed = (
+            (time.perf_counter() - warm_started) / (arguments.repeat - 1)
+        )
     print(f"strategy : {outcome.strategy}")
     print(f"views    : {outcome.view_ids}")
     print(f"answers  : {len(outcome.codes)} "
           f"({elapsed * 1e3:.2f} ms total, "
           f"{outcome.lookup_seconds * 1e3:.2f} ms lookup)")
+    if warm_elapsed is not None:
+        hit = "hit" if outcome.plan_cache_hit else "miss"
+        print(f"warm     : {warm_elapsed * 1e3:.2f} ms/answer over "
+              f"{arguments.repeat - 1} repeats (plan cache {hit})")
     for code in outcome.codes[: arguments.limit]:
         print(f"  {format_code(code)}")
     if len(outcome.codes) > arguments.limit:
         print(f"  ... {len(outcome.codes) - arguments.limit} more")
+    if arguments.stats:
+        print("stats    :")
+        for section, values in system.stats().items():
+            if isinstance(values, dict):
+                rendered = ", ".join(
+                    f"{key}={value:.4f}" if isinstance(value, float)
+                    else f"{key}={value}"
+                    for key, value in values.items()
+                )
+                print(f"  {section}: {rendered}")
+            else:
+                print(f"  {section}: {values}")
     if arguments.check:
         truth = system.direct_codes(arguments.query)
         status = "OK" if truth == outcome.codes else "MISMATCH"
@@ -162,6 +188,9 @@ def main(argv: list[str] | None = None) -> int:
                              help="XML file (default: generated XMark)")
             sub.add_argument("--scale", type=float, default=1.0)
             sub.add_argument("--seed", type=int, default=42)
+            sub.add_argument("--workers", type=int, default=None,
+                             help="processes for parallel view "
+                                  "registration (0 = serial)")
 
     answer = commands.add_parser("answer", help="answer a query from views")
     add_common(answer, with_document=True)
@@ -171,6 +200,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="answers to print (default 10)")
     answer.add_argument("--check", action="store_true",
                         help="cross-check against direct evaluation")
+    answer.add_argument("--repeat", type=int, default=1,
+                        help="answer the query N times to exercise the "
+                             "plan cache (default 1)")
+    answer.add_argument("--stats", action="store_true",
+                        help="print plan-cache/memo/stage counters")
     answer.set_defaults(handler=_cmd_answer)
 
     filter_ = commands.add_parser("filter", help="show VFILTER candidates")

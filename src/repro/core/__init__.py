@@ -2,6 +2,7 @@
 
 from .leaf_cover import (
     DELTA,
+    CoverageMemo,
     CoverageUnit,
     Obligation,
     coverage_units,
@@ -10,6 +11,7 @@ from .leaf_cover import (
     obligations_of,
     view_coverage,
 )
+from .plancache import PlanCache, PlanEntry
 from .nfa import AcceptEntry, PathNFA
 from .refine import RefinedUnit, compensating_pattern, refine_unit
 from .rewrite import RewriteResult, reencode_fragment, rewrite
@@ -30,9 +32,12 @@ from .view import View
 __all__ = [
     "AcceptEntry",
     "AnswerOutcome",
+    "CoverageMemo",
     "CoverageUnit",
     "DELTA",
     "FilterResult",
+    "PlanCache",
+    "PlanEntry",
     "MaterializedViewSystem",
     "Obligation",
     "PathNFA",

@@ -34,6 +34,7 @@ units' coverage equals the obligation set and some unit provides ``Δ``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..matching.homomorphism import (
@@ -50,6 +51,7 @@ __all__ = [
     "DELTA",
     "Obligation",
     "CoverageUnit",
+    "CoverageMemo",
     "obligations_of",
     "coverage_units",
     "view_coverage",
@@ -245,3 +247,108 @@ def covers_query(
         covered.update(unit.covered)
         has_delta = has_delta or unit.provides_delta
     return has_delta and needed <= covered
+
+
+class _QueryMemo:
+    """Per-query-key slice of a :class:`CoverageMemo`."""
+
+    __slots__ = ("pattern", "units", "compensations")
+
+    def __init__(self, pattern: TreePattern):
+        self.pattern = pattern
+        #: view_id -> coverage_units(view, pattern)
+        self.units: dict[str, list[CoverageUnit]] = {}
+        #: (view_id, id(anchor)) -> (compensating pattern, case-1 skip)
+        self.compensations: dict[tuple[str, int], tuple[TreePattern, bool]] = {}
+
+
+class CoverageMemo:
+    """Shared homomorphism/coverage memo keyed by ``(view_id, query_key)``.
+
+    MN, MV, CB and the HV list walk each call :func:`coverage_units`
+    independently for the same ``(view, query)`` pairs — and the result
+    depends *only* on the two patterns.  The memo computes each pair
+    once per system and serves every later request (across strategies
+    and across ``answer()`` calls) from the cache.
+
+    **Identity discipline.**  Cached units reference query pattern
+    nodes by object identity, so each query key is *interned* to one
+    pattern object (:meth:`intern`), and every pipeline stage — the
+    selectors, the refine stage, the join — must operate on that object.
+    Units, compensating-pattern plans and the interned pattern share one
+    LRU slot per query key, so eviction can never split them.
+
+    **Lifetime.**  Entries survive base-document maintenance (coverage
+    is document-independent) and ``register_view`` (existing pairs are
+    unaffected; new views simply miss).  Because a system never
+    redefines a view id, entries never go stale.
+    """
+
+    def __init__(self, max_queries: int = 512):
+        self.max_queries = max_queries
+        self._queries: "OrderedDict[str, _QueryMemo]" = OrderedDict()
+        self.computed = 0
+        self.served = 0
+
+    # ------------------------------------------------------------------
+    def intern(self, query_key: str, pattern: TreePattern) -> TreePattern:
+        """Return the canonical pattern object for ``query_key``,
+        adopting ``pattern`` when the key is new."""
+        slot = self._queries.get(query_key)
+        if slot is None:
+            slot = _QueryMemo(pattern)
+            self._queries[query_key] = slot
+            while len(self._queries) > self.max_queries:
+                self._queries.popitem(last=False)
+        self._queries.move_to_end(query_key)
+        return slot.pattern
+
+    def units(self, view: View, query_key: str, pattern: TreePattern) -> list[CoverageUnit]:
+        """Memoized :func:`coverage_units` for an interned query."""
+        slot = self._queries.get(query_key)
+        if slot is None:
+            # Evicted between intern and use: recompute without caching.
+            self.computed += 1
+            return coverage_units(view, pattern)
+        units = slot.units.get(view.view_id)
+        if units is None:
+            self.computed += 1
+            units = coverage_units(view, slot.pattern)
+            slot.units[view.view_id] = units
+        else:
+            self.served += 1
+        return units
+
+    def compensation(
+        self, query_key: str, unit: CoverageUnit
+    ) -> "tuple[TreePattern, bool] | None":
+        """Cached (compensating pattern, case-1 skip) for a unit, or
+        None when not yet recorded.  Only meaningful for units whose
+        anchor belongs to the interned pattern of ``query_key``."""
+        slot = self._queries.get(query_key)
+        if slot is None:
+            return None
+        return slot.compensations.get((unit.view.view_id, id(unit.anchor)))
+
+    def record_compensation(
+        self,
+        query_key: str,
+        unit: CoverageUnit,
+        pattern: TreePattern,
+        skipped: bool,
+    ) -> None:
+        slot = self._queries.get(query_key)
+        if slot is not None:
+            key = (unit.view.view_id, id(unit.anchor))
+            slot.compensations[key] = (pattern, skipped)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "coverage_computed": self.computed,
+            "coverage_served": self.served,
+            "queries": len(self._queries),
+        }
+
+    def clear(self) -> None:
+        self._queries.clear()

@@ -176,6 +176,10 @@ class DocumentEditor:
     ) -> MaintenanceReport:
         report = MaintenanceReport(operation, changed_nodes)
         system = self.system
+        # The document changed, so every cached answering plan is stale
+        # (fragments, sizes and answer sets may all differ); the
+        # coverage memo survives — it depends only on the patterns.
+        system._invalidate_plans()
         capped: list[str] = []
         for view in list(system.materialized_views()):
             touched = force_all or self._view_touched(

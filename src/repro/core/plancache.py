@@ -1,0 +1,137 @@
+"""Query plan cache for the hot answering path.
+
+The ROADMAP's north star is serving heavy repeated traffic, but the
+paper's pipeline re-derives everything per call: parse, VFILTER,
+homomorphism enumeration, set cover, rewrite.  For a query string seen
+one millisecond earlier all of that work is identical.  This module
+holds the derived artifacts between calls:
+
+* :class:`PlanCache` — a bounded LRU mapping a query pattern's
+  *canonical string* (order-insensitive, answer-node-marked — see
+  :meth:`~repro.xpath.pattern.TreePattern.canonical_string`) and a
+  strategy to a frozen :class:`PlanEntry`: the interned pattern object,
+  the ``(FilterResult, Selection)`` pair the cold run produced, and —
+  once the rewrite stage has run — the :class:`RewriteResult` itself.
+  Unanswerable queries are cached negatively (the
+  :class:`~repro.errors.ViewNotAnswerableError` is replayed), so
+  repeated misses are as cheap as repeated hits.
+
+**Invalidation.**  A cached plan is valid only while the view pool and
+the base document are unchanged: ``register_view`` can extend the
+candidate sets, and a maintenance insert/delete changes fragments and
+answers.  :class:`MaterializedViewSystem` therefore clears the whole
+cache on every such mutation (see ``_invalidate_plans``); entries never
+survive a mutation, which keeps the invariant trivial to audit.  The
+coverage memo (:class:`~repro.core.leaf_cover.CoverageMemo`) is *not*
+cleared on document updates — coverage is a pure function of the view
+and query patterns, and view ids are never redefined within a system's
+lifetime.
+
+Interning: :class:`CoverageUnit` objects reference query pattern nodes
+by identity (``Obligation.node_id`` is an ``id()``), so cached plans are
+only meaningful together with the exact pattern object they were derived
+from.  Entries therefore carry that pattern, and warm runs use it for
+the rewrite stage instead of the caller's freshly parsed copy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import ViewNotAnswerableError
+from ..xpath.pattern import TreePattern
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .rewrite import RewriteResult
+    from .selection import Selection
+    from .vfilter import FilterResult
+
+__all__ = ["PlanCache", "PlanEntry"]
+
+#: Default maximum number of cached ``(query, strategy)`` plans.
+DEFAULT_PLAN_CACHE_SIZE = 1024
+
+
+@dataclass(slots=True)
+class PlanEntry:
+    """One frozen answering plan for a ``(query, strategy)`` pair.
+
+    Exactly one of ``selection`` / ``error`` is set.  ``result`` is
+    filled in lazily after the first rewrite over this plan, so warm
+    repeats skip the refine → join → extract stage as well.
+    """
+
+    pattern: TreePattern
+    filter_result: "FilterResult | None" = None
+    selection: "Selection | None" = None
+    error: ViewNotAnswerableError | None = None
+    result: "RewriteResult | None" = None
+
+    def replay_error(self) -> ViewNotAnswerableError:
+        """A fresh exception equivalent to the cached negative outcome
+        (never re-raise the stored instance: tracebacks would chain)."""
+        assert self.error is not None
+        return ViewNotAnswerableError(
+            str(self.error), uncovered=self.error.uncovered
+        )
+
+
+@dataclass(slots=True)
+class PlanCacheStats:
+    """Counters exposed through ``MaterializedViewSystem.stats()``."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+
+class PlanCache:
+    """Bounded LRU of :class:`PlanEntry` keyed by (canonical, strategy)."""
+
+    def __init__(self, maxsize: int = DEFAULT_PLAN_CACHE_SIZE):
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple[str, str], PlanEntry] = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def get(self, query_key: str, strategy: str) -> PlanEntry | None:
+        """Return the cached plan and count the hit/miss."""
+        entry = self._entries.get((query_key, strategy))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end((query_key, strategy))
+        self.stats.hits += 1
+        return entry
+
+    def put(self, query_key: str, strategy: str, entry: PlanEntry) -> None:
+        if not self.enabled:
+            return
+        self._entries[(query_key, strategy)] = entry
+        self._entries.move_to_end((query_key, strategy))
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every plan (view pool or base document changed)."""
+        if self._entries:
+            self.stats.invalidations += 1
+            self._entries.clear()

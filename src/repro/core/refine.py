@@ -22,7 +22,12 @@ from ..storage.fragments import Fragment
 from ..xpath.pattern import TreePattern
 from .leaf_cover import CoverageUnit
 
-__all__ = ["RefinedUnit", "compensating_pattern", "refine_unit"]
+__all__ = [
+    "RefinedUnit",
+    "compensating_pattern",
+    "compensation_plan",
+    "refine_unit",
+]
 
 
 @dataclass(slots=True)
@@ -50,17 +55,31 @@ def compensating_pattern(unit: CoverageUnit, query: TreePattern) -> TreePattern:
     return query.subtree_at(anchor, ret=ret)
 
 
+def compensation_plan(
+    unit: CoverageUnit, query: TreePattern
+) -> tuple[TreePattern, bool]:
+    """The per-unit refinement plan: the compensating pattern plus
+    whether the paper's case-1 optimization applies (the view's own
+    return subtree implies the pattern, so per-fragment evaluation is
+    skipped).  Pure in the two patterns — memoizable across calls."""
+    pattern = compensating_pattern(unit, query)
+    skipped = subtree_maps_to(pattern.root, unit.view.pattern.ret)
+    return pattern, skipped
+
+
 def refine_unit(
     unit: CoverageUnit,
     query: TreePattern,
     fragments: list[Fragment],
+    plan: tuple[TreePattern, bool] | None = None,
 ) -> RefinedUnit:
-    """Apply the compensating pattern to a unit's fragments."""
-    pattern = compensating_pattern(unit, query)
-    view_return_subtree = unit.view.pattern.ret
-    # Case 1: the view's own return subtree implies the compensating
-    # pattern — skip evaluation (paper: "V does not need to be refined").
-    if subtree_maps_to(pattern.root, view_return_subtree):
+    """Apply the compensating pattern to a unit's fragments.
+
+    ``plan`` replays a previously computed :func:`compensation_plan`
+    (the hot path threads a memo through here).
+    """
+    pattern, skipped = plan if plan is not None else compensation_plan(unit, query)
+    if skipped:
         return RefinedUnit(unit, pattern, list(fragments), True)
     surviving = [
         fragment

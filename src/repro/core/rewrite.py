@@ -31,7 +31,8 @@ from ..xmltree.fst import FiniteStateTransducer
 from ..xmltree.schema import DocumentSchema
 from ..xmltree.tree import XMLNode
 from ..xpath.pattern import TreePattern
-from .refine import RefinedUnit, refine_unit
+from .leaf_cover import CoverageMemo
+from .refine import RefinedUnit, compensation_plan, refine_unit
 from .selection import Selection
 from .twig_join import join_units
 
@@ -86,8 +87,17 @@ def rewrite(
     fragment_store: FragmentStore,
     schema: DocumentSchema,
     fst: FiniteStateTransducer,
+    memo: CoverageMemo | None = None,
+    query_key: str | None = None,
 ) -> RewriteResult:
-    """Run the full refine → join → extract pipeline."""
+    """Run the full refine → join → extract pipeline.
+
+    When ``memo`` and ``query_key`` are given (the system's hot path),
+    each unit's compensating pattern and case-1 skip decision are
+    served from / recorded in the memo instead of being re-derived —
+    only valid when ``query`` is the memo's interned pattern for
+    ``query_key`` and the units reference its nodes.
+    """
     fragments_cache: dict[str, list[Fragment]] = {}
 
     def fragments_of(view_id: str) -> list[Fragment]:
@@ -97,9 +107,20 @@ def rewrite(
             fragments_cache[view_id] = cached
         return cached
 
+    def plan_for(unit) -> tuple[TreePattern, bool]:
+        if memo is None or query_key is None:
+            return compensation_plan(unit, query)
+        plan = memo.compensation(query_key, unit)
+        if plan is None:
+            plan = compensation_plan(unit, query)
+            memo.record_compensation(query_key, unit, *plan)
+        return plan
+
     refined_units: list[RefinedUnit] = []
     for unit in selection.units:
-        refined = refine_unit(unit, query, fragments_of(unit.view.view_id))
+        refined = refine_unit(
+            unit, query, fragments_of(unit.view.view_id), plan=plan_for(unit)
+        )
         if not refined.fragments:
             # Some required piece has no instances: the answer is empty.
             return RewriteResult([], refined=refined_units + [refined])

@@ -44,6 +44,17 @@ __all__ = ["Selection", "select_cost_based", "select_heuristic", "select_minimum
 #: used as a tie-breaker (smaller fragments first).
 SizeOf = Callable[[str], int]
 
+#: Optional coverage-unit supplier (the system threads a
+#: :class:`~repro.core.leaf_cover.CoverageMemo` through here so MN, MV,
+#: HV and CB share one homomorphism computation per (view, query) pair).
+UnitsFn = Callable[[View], list[CoverageUnit]]
+
+
+def _units_fn_for(query: TreePattern, units_fn: UnitsFn | None) -> UnitsFn:
+    if units_fn is not None:
+        return units_fn
+    return lambda view: coverage_units(view, query)
+
 
 @dataclass(slots=True)
 class Selection:
@@ -70,11 +81,15 @@ class _ViewInfo:
 
 
 def _gather(
-    views: list[View], query: TreePattern, size_of: SizeOf | None
+    views: list[View],
+    query: TreePattern,
+    size_of: SizeOf | None,
+    units_fn: UnitsFn | None = None,
 ) -> list[_ViewInfo]:
+    units_of = _units_fn_for(query, units_fn)
     infos: list[_ViewInfo] = []
     for view in views:
-        units = coverage_units(view, query)
+        units = units_of(view)
         if not units:
             continue
         coverage: set[Obligation] = set()
@@ -104,6 +119,7 @@ def select_minimum(
     views: list[View],
     query: TreePattern,
     size_of: SizeOf | None = None,
+    units_fn: UnitsFn | None = None,
 ) -> Selection:
     """Exact minimum-cardinality answering view set (MN / MV).
 
@@ -111,7 +127,7 @@ def select_minimum(
     answers the query; the exception carries the uncovered obligations.
     """
     needed = obligations_of(query)
-    infos = _gather(views, query, size_of)
+    infos = _gather(views, query, size_of, units_fn)
 
     # Collapse identical coverage signatures, keeping the smallest view
     # (by materialized bytes, then registration order) per class.
@@ -163,6 +179,7 @@ def select_heuristic(
     view_lookup: Callable[[str], View],
     query: TreePattern,
     size_of: SizeOf | None = None,
+    units_fn: UnitsFn | None = None,
 ) -> Selection:
     """Algorithm 2: greedy minimal selection from ``LIST(P_i)``.
 
@@ -170,6 +187,7 @@ def select_heuristic(
     ``view_lookup`` resolves candidate ids to :class:`View` objects.
     """
     needed = obligations_of(query)
+    units_of = _units_fn_for(query, units_fn)
     node_index = {id(node): node for node in query.iter_nodes()}
 
     # Map every non-delta obligation to the query path that reaches it
@@ -197,7 +215,7 @@ def select_heuristic(
             if view_id in selected:
                 continue
             view = view_lookup(view_id)
-            units = coverage_units(view, query)
+            units = units_of(view)
             if not units:
                 continue
             coverage: set[Obligation] = set()
@@ -281,6 +299,7 @@ def select_cost_based(
     query: TreePattern,
     size_of: SizeOf,
     view_overhead_bytes: int = 4096,
+    units_fn: UnitsFn | None = None,
 ) -> Selection:
     """Cost-model selection: weighted greedy set cover.
 
@@ -294,7 +313,7 @@ def select_cost_based(
     ``benchmarks/bench_ablation_selection.py``.
     """
     needed = obligations_of(query)
-    infos = _gather(views, query, size_of)
+    infos = _gather(views, query, size_of, units_fn)
     if not infos:
         raise ViewNotAnswerableError("no usable view for the query")
 

@@ -6,10 +6,19 @@ encoded document:
 * **register views** — evaluate each view on the base data once and
   materialize its answer-node subtrees (with extended Dewey codes) into
   the fragment store, subject to the 128 KiB per-view cap; insert its
-  decomposed path patterns into VFILTER.
+  decomposed path patterns into VFILTER.  Bulk registration
+  (:meth:`register_views`) evaluates views in a process pool when one
+  is available (:mod:`repro.core.parallel`).
 * **answer queries** — filter (VFILTER), select (MN / MV / HV), rewrite
   (refine → holistic join → extract) using only materialized fragments
   and encodings; or fall back to the BN / BF base-data baselines.
+
+The answering path is served through a :class:`~repro.core.plancache.PlanCache`
+(warm repeats of a query skip filtering, homomorphism enumeration and
+set cover entirely) and a shared :class:`~repro.core.leaf_cover.CoverageMemo`
+(MN/MV/HV/CB and the rewrite stage share one coverage computation per
+``(view, query)`` pair).  ``stats()`` exposes hit/miss counters and
+per-stage timings.
 
 This is the object the examples and benchmarks drive.
 """
@@ -29,6 +38,9 @@ from ..xmltree.dewey import DeweyCode
 from ..xpath.parser import parse_xpath
 from ..xpath.pattern import TreePattern
 from .contained import ContainedResult, maximal_contained_rewriting
+from .leaf_cover import CoverageMemo
+from .parallel import MIN_PARALLEL_VIEWS, default_workers, evaluate_views_parallel
+from .plancache import DEFAULT_PLAN_CACHE_SIZE, PlanCache, PlanEntry
 from .rewrite import RewriteResult, rewrite
 from .selection import (
     Selection,
@@ -45,6 +57,12 @@ __all__ = ["AnswerOutcome", "MaterializedViewSystem"]
 _STRATEGIES = ("HV", "MV", "MN", "CB")
 
 
+def _sorted_codes(answers) -> list[DeweyCode]:
+    """Answer extraction shared by the baselines and ground truth:
+    the sorted Dewey codes of every encoded answer node."""
+    return sorted(node.dewey for node in answers if node.dewey is not None)
+
+
 @dataclass(slots=True)
 class AnswerOutcome:
     """Everything about one answered query.
@@ -52,7 +70,9 @@ class AnswerOutcome:
     ``codes`` is the answer set; ``lookup_seconds`` covers filtering +
     selection (the paper's Figure 9 metric), ``total_seconds`` the whole
     pipeline (Figure 8).  ``selection`` / ``rewrite_result`` expose the
-    intermediate artifacts.
+    intermediate artifacts.  ``plan_cache_hit`` marks answers served
+    from a cached plan; ``stage_seconds`` breaks the call down into
+    ``parse`` / ``lookup`` / ``rewrite``.
     """
 
     codes: list[DeweyCode]
@@ -63,6 +83,8 @@ class AnswerOutcome:
     lookup_seconds: float = 0.0
     total_seconds: float = 0.0
     candidates: list[str] = field(default_factory=list)
+    plan_cache_hit: bool = False
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def view_ids(self) -> list[str]:
@@ -77,6 +99,8 @@ class MaterializedViewSystem:
         document: EncodedDocument,
         fragment_cap: int = DEFAULT_FRAGMENT_CAP,
         store: KVStore | None = None,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        cache_results: bool = True,
     ):
         self.document = document
         self.vfilter = VFilter()
@@ -85,6 +109,15 @@ class MaterializedViewSystem:
         self._materialized: list[View] = []
         self._node_index: NodeIndex | None = None
         self._path_index: FullPathIndex | None = None
+        self._plan_cache = PlanCache(plan_cache_size)
+        self._cache_results = cache_results
+        self._memo = CoverageMemo()
+        self._stage_totals: dict[str, float] = {
+            "parse": 0.0, "lookup": 0.0, "rewrite": 0.0
+        }
+        self._answer_calls = 0
+        self._parallel_registered = 0
+        self._serial_registered = 0
 
     # ------------------------------------------------------------------
     # registration
@@ -103,20 +136,77 @@ class MaterializedViewSystem:
             (node.dewey, node) for node in answers if node.dewey is not None
         ]
         fits = self.fragments.materialize(view_id, entries)
-        self._views[view_id] = view
+        self._serial_registered += 1
+        return self._admit_view(view, fits)
+
+    def _admit_view(self, view: View, fits: bool) -> bool:
+        """Shared tail of serial and parallel registration: catalog the
+        view, persist its definition, extend VFILTER, drop stale plans."""
+        self._views[view.view_id] = view
         self._persist_definition(view)
         if fits:
             self._materialized.append(view)
             self.vfilter.add_view(view)
+        self._invalidate_plans()
         return fits
 
-    def register_views(self, expressions: dict[str, str]) -> list[str]:
-        """Register many views; returns the ids that materialized fully."""
+    def register_views(
+        self,
+        expressions: dict[str, str | TreePattern],
+        workers: int | None = None,
+    ) -> list[str]:
+        """Register many views; returns the ids that materialized fully.
+
+        With ``workers >= 2`` (default: the machine's CPU count, capped
+        by ``REPRO_REGISTER_WORKERS``) and enough views to amortize pool
+        startup, view patterns are evaluated against the base tree in a
+        process pool; the serial path is used otherwise, or when the
+        pool cannot be created (sandboxes without fork support).  Both
+        paths produce byte-identical fragment stores.
+        """
+        items = list(expressions.items())
+        if workers is None:
+            workers = default_workers()
+        if workers >= 2 and len(items) >= MIN_PARALLEL_VIEWS:
+            try:
+                return self._register_views_parallel(items, workers)
+            except ValueError:
+                raise
+            except Exception:
+                # Pool unavailable or died; the pool work is pure, so
+                # nothing was registered — retry serially from scratch.
+                pass
         return [
             view_id
-            for view_id, expression in expressions.items()
+            for view_id, expression in items
             if self.register_view(view_id, expression)
         ]
+
+    def _register_views_parallel(
+        self, items: list[tuple[str, str | TreePattern]], workers: int
+    ) -> list[str]:
+        prepared: list[View] = []
+        for view_id, expression in items:
+            if isinstance(expression, TreePattern):
+                view = View(view_id, expression)
+            else:
+                view = View.from_xpath(view_id, expression)
+            if view.view_id in self._views:
+                raise ValueError(f"duplicate view id {view_id!r}")
+            prepared.append(view)
+        payload = [(view.view_id, view.to_xpath()) for view in prepared]
+        encoded = evaluate_views_parallel(
+            self.document, payload, self.fragments.cap_bytes, workers
+        )
+        registered: list[str] = []
+        for view in prepared:
+            fits = self.fragments.materialize_encoded(
+                view.view_id, encoded[view.view_id]
+            )
+            if self._admit_view(view, fits):
+                registered.append(view.view_id)
+        self._parallel_registered += len(prepared)
+        return registered
 
     # ------------------------------------------------------------------
     # persistence
@@ -135,6 +225,8 @@ class MaterializedViewSystem:
         document: EncodedDocument,
         store: KVStore,
         fragment_cap: int = DEFAULT_FRAGMENT_CAP,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        cache_results: bool = True,
     ) -> "MaterializedViewSystem":
         """Rebuild a system from a store written in an earlier session.
 
@@ -142,11 +234,18 @@ class MaterializedViewSystem:
         manifests are read back, VFILTER is reconstructed from the
         definitions, and capped views stay excluded — the same state as
         after the original ``register_view`` calls, minus the base-data
-        evaluation cost.
+        evaluation cost.  Plan cache and memo start empty (they are
+        in-memory artifacts of one session).
         """
         from ..storage.serialize import decode_text
 
-        system = cls(document, fragment_cap=fragment_cap, store=store)
+        system = cls(
+            document,
+            fragment_cap=fragment_cap,
+            store=store,
+            plan_cache_size=plan_cache_size,
+            cache_results=cache_results,
+        )
         definitions: dict[str, str] = {}
         for key, value in store.scan_prefix(cls._DEFINITION_PREFIX):
             view_id = key[len(cls._DEFINITION_PREFIX):].decode()
@@ -171,6 +270,39 @@ class MaterializedViewSystem:
         return list(self._materialized)
 
     # ------------------------------------------------------------------
+    # plan cache plumbing
+    # ------------------------------------------------------------------
+    def _invalidate_plans(self) -> None:
+        """Drop cached plans after any view-pool or document mutation.
+
+        Called by :meth:`register_view` / :meth:`register_views` and by
+        :class:`~repro.core.maintenance.DocumentEditor` after inserts
+        and deletes.  The coverage memo survives: coverage is a pure
+        function of the view and query patterns, and view ids are never
+        redefined within one system.
+        """
+        self._plan_cache.clear()
+
+    def stats(self) -> dict:
+        """Operational counters for the answering hot path."""
+        return {
+            "views": {
+                "registered": len(self._views),
+                "materialized": len(self._materialized),
+                "registered_parallel": self._parallel_registered,
+                "registered_serial": self._serial_registered,
+            },
+            "plan_cache": {
+                **self._plan_cache.stats.as_dict(),
+                "entries": len(self._plan_cache),
+                "maxsize": self._plan_cache.maxsize,
+            },
+            "coverage_memo": self._memo.stats(),
+            "answers": self._answer_calls,
+            "stage_seconds": dict(self._stage_totals),
+        }
+
+    # ------------------------------------------------------------------
     # answering with views
     # ------------------------------------------------------------------
     def answer(
@@ -183,34 +315,82 @@ class MaterializedViewSystem:
         (cost model + VFILTER, the extension the paper sketches).  Raises
         :class:`~repro.errors.ViewNotAnswerableError` when the
         materialized views cannot answer the query.
+
+        Repeated queries (same canonical pattern, same strategy) are
+        served from the plan cache until the next view registration or
+        maintenance update.
         """
         if strategy not in _STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; use {_STRATEGIES}")
+        entered = time.perf_counter()
         pattern = parse_xpath(query) if isinstance(query, str) else query
+        query_key = pattern.canonical_string()
         started = time.perf_counter()
+        self._answer_calls += 1
+        self._stage_totals["parse"] += started - entered
+
+        entry = (
+            self._plan_cache.get(query_key, strategy)
+            if self._plan_cache.enabled
+            else None
+        )
+        if entry is not None:
+            return self._answer_warm(entry, strategy, query_key, entered, started)
+        return self._answer_cold(pattern, strategy, query_key, entered, started)
+
+    def _answer_cold(
+        self,
+        pattern: TreePattern,
+        strategy: str,
+        query_key: str,
+        entered: float,
+        started: float,
+    ) -> AnswerOutcome:
+        pattern = self._memo.intern(query_key, pattern)
+
+        def units_fn(view: View) -> list:
+            return self._memo.units(view, query_key, pattern)
 
         filter_result: FilterResult | None = None
-        if strategy == "MN":
-            selection = select_minimum(
-                self._materialized, pattern, self.fragments.fragment_bytes
-            )
-        else:
-            filter_result = self.vfilter.filter(pattern)
-            if strategy in ("MV", "CB"):
-                candidates = [
-                    self._views[view_id] for view_id in filter_result.candidates
-                ]
-                selector = select_minimum if strategy == "MV" else select_cost_based
-                selection = selector(
-                    candidates, pattern, self.fragments.fragment_bytes
-                )
-            else:
-                selection = select_heuristic(
-                    filter_result,
-                    self._views.__getitem__,
+        try:
+            if strategy == "MN":
+                selection = select_minimum(
+                    self._materialized,
                     pattern,
                     self.fragments.fragment_bytes,
+                    units_fn=units_fn,
                 )
+            else:
+                filter_result = self.vfilter.filter(pattern)
+                if strategy in ("MV", "CB"):
+                    candidates = [
+                        self._views[view_id]
+                        for view_id in filter_result.candidates
+                    ]
+                    selector = (
+                        select_minimum if strategy == "MV" else select_cost_based
+                    )
+                    selection = selector(
+                        candidates,
+                        pattern,
+                        self.fragments.fragment_bytes,
+                        units_fn=units_fn,
+                    )
+                else:
+                    selection = select_heuristic(
+                        filter_result,
+                        self._views.__getitem__,
+                        pattern,
+                        self.fragments.fragment_bytes,
+                        units_fn=units_fn,
+                    )
+        except ViewNotAnswerableError as error:
+            self._plan_cache.put(
+                query_key,
+                strategy,
+                PlanEntry(pattern, filter_result, None, error=error),
+            )
+            raise
         lookup_done = time.perf_counter()
 
         result = rewrite(
@@ -219,10 +399,20 @@ class MaterializedViewSystem:
             self.fragments,
             self.document.schema,
             self.document.fst,
+            memo=self._memo,
+            query_key=query_key,
         )
         finished = time.perf_counter()
+
+        entry = PlanEntry(pattern, filter_result, selection)
+        if self._cache_results:
+            entry.result = result
+        self._plan_cache.put(query_key, strategy, entry)
+
+        self._stage_totals["lookup"] += lookup_done - started
+        self._stage_totals["rewrite"] += finished - lookup_done
         return AnswerOutcome(
-            codes=result.codes,
+            codes=list(result.codes),
             strategy=strategy,
             selection=selection,
             rewrite_result=result,
@@ -230,6 +420,61 @@ class MaterializedViewSystem:
             lookup_seconds=lookup_done - started,
             total_seconds=finished - started,
             candidates=filter_result.candidates if filter_result else [],
+            plan_cache_hit=False,
+            stage_seconds={
+                "parse": started - entered,
+                "lookup": lookup_done - started,
+                "rewrite": finished - lookup_done,
+            },
+        )
+
+    def _answer_warm(
+        self,
+        entry: PlanEntry,
+        strategy: str,
+        query_key: str,
+        entered: float,
+        started: float,
+    ) -> AnswerOutcome:
+        if entry.error is not None:
+            raise entry.replay_error()
+        assert entry.selection is not None
+        lookup_done = time.perf_counter()
+
+        result = entry.result
+        if result is None:
+            result = rewrite(
+                entry.selection,
+                entry.pattern,
+                self.fragments,
+                self.document.schema,
+                self.document.fst,
+                memo=self._memo,
+                query_key=query_key,
+            )
+            if self._cache_results:
+                entry.result = result
+        finished = time.perf_counter()
+
+        self._stage_totals["lookup"] += lookup_done - started
+        self._stage_totals["rewrite"] += finished - lookup_done
+        return AnswerOutcome(
+            codes=list(result.codes),
+            strategy=strategy,
+            selection=entry.selection,
+            rewrite_result=result,
+            filter_result=entry.filter_result,
+            lookup_seconds=lookup_done - started,
+            total_seconds=finished - started,
+            candidates=(
+                entry.filter_result.candidates if entry.filter_result else []
+            ),
+            plan_cache_hit=True,
+            stage_seconds={
+                "parse": started - entered,
+                "lookup": lookup_done - started,
+                "rewrite": finished - lookup_done,
+            },
         )
 
     def try_answer(
@@ -252,11 +497,8 @@ class MaterializedViewSystem:
         started = time.perf_counter()
         answers = self._node_index.evaluate(pattern)
         finished = time.perf_counter()
-        codes = sorted(
-            node.dewey for node in answers if node.dewey is not None
-        )
         return AnswerOutcome(
-            codes, "BN", total_seconds=finished - started
+            _sorted_codes(answers), "BN", total_seconds=finished - started
         )
 
     def answer_bf(self, query: str | TreePattern) -> AnswerOutcome:
@@ -267,11 +509,8 @@ class MaterializedViewSystem:
         started = time.perf_counter()
         answers = self._path_index.evaluate(pattern)
         finished = time.perf_counter()
-        codes = sorted(
-            node.dewey for node in answers if node.dewey is not None
-        )
         return AnswerOutcome(
-            codes, "BF", total_seconds=finished - started
+            _sorted_codes(answers), "BF", total_seconds=finished - started
         )
 
     def answer_contained(self, query: str | TreePattern) -> ContainedResult:
@@ -310,7 +549,7 @@ class MaterializedViewSystem:
         """Ground truth: direct evaluation, full scan."""
         pattern = parse_xpath(query) if isinstance(query, str) else query
         answers = evaluate(pattern, self.document.tree)
-        return sorted(node.dewey for node in answers if node.dewey is not None)
+        return _sorted_codes(answers)
 
     # ------------------------------------------------------------------
     # introspection

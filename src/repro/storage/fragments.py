@@ -127,15 +127,42 @@ class FragmentStore:
             payload = encode_dewey(code) + encode_fragment(root)
             total += len(payload)
             if total > self.cap_bytes:
-                self._manifests[view_id] = (0, 0, True)
-                self._write_manifest(view_id)
-                return False
+                return self._mark_capped(view_id)
             payloads.append(payload)
+        self._store_payloads(view_id, payloads, total)
+        return True
+
+    def materialize_encoded(
+        self, view_id: str, payloads: list[bytes] | None
+    ) -> bool:
+        """Store pre-encoded fragment payloads (the parallel
+        registration path: workers return exactly the bytes
+        :meth:`materialize` would have produced, in code order).
+
+        ``None`` marks the view as capped, mirroring the serial path.
+        """
+        if view_id in self._manifests:
+            raise StorageError(f"view {view_id!r} already materialized")
+        if payloads is None:
+            return self._mark_capped(view_id)
+        total = sum(len(payload) for payload in payloads)
+        if total > self.cap_bytes:
+            return self._mark_capped(view_id)
+        self._store_payloads(view_id, payloads, total)
+        return True
+
+    def _mark_capped(self, view_id: str) -> bool:
+        self._manifests[view_id] = (0, 0, True)
+        self._write_manifest(view_id)
+        return False
+
+    def _store_payloads(
+        self, view_id: str, payloads: list[bytes], total: int
+    ) -> None:
         for seq, payload in enumerate(payloads):
             self.store.put(self._fragment_key(view_id, seq), payload)
         self._manifests[view_id] = (len(payloads), total, False)
         self._write_manifest(view_id)
-        return True
 
     def drop(self, view_id: str) -> None:
         """Remove a view's fragments and manifest."""

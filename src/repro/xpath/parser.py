@@ -21,12 +21,18 @@ step of the main path, matching XPath semantics.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 from ..errors import XPathSyntaxError
 from .ast import Axis, AttributeConstraint, WILDCARD
 from .pattern import PatternNode, TreePattern
 
-__all__ = ["parse_xpath", "parse_path"]
+__all__ = ["parse_xpath", "parse_path", "parse_cache_info", "parse_cache_clear"]
+
+#: Bounded LRU over raw expression strings.  The answering hot path
+#: re-parses identical query strings constantly; parsing dominates the
+#: per-call cost for short queries once plans are cached downstream.
+_PARSE_CACHE_SIZE = 512
 
 _NAME_RE = re.compile(r"[A-Za-z_][\w.\-]*")
 _NUMBER_RE = re.compile(r"-?\d+(\.\d+)?")
@@ -174,7 +180,28 @@ def parse_xpath(expression: str) -> TreePattern:
     patterns like ``s[t]/p`` without a leading axis to mean "anchored
     anywhere"; accordingly, an expression with no leading ``/`` or ``//``
     is parsed as if it started with ``//``.
+
+    Results are served from a bounded LRU keyed by the raw string; each
+    call returns an independent deep copy, so callers that mutate the
+    returned pattern (decomposition, normalization, answer re-marking)
+    can never corrupt later parses of the same string.  Syntax errors
+    are not cached.
     """
+    return _parse_cached(expression).copy()
+
+
+def parse_cache_info():
+    """``functools.lru_cache`` statistics of the parse cache."""
+    return _parse_cached.cache_info()
+
+
+def parse_cache_clear() -> None:
+    """Empty the parse cache (tests and memory-sensitive callers)."""
+    _parse_cached.cache_clear()
+
+
+@lru_cache(maxsize=_PARSE_CACHE_SIZE)
+def _parse_cached(expression: str) -> TreePattern:
     scanner = _Scanner(expression)
     if scanner.eof():
         raise XPathSyntaxError("empty expression", expression)

@@ -1,0 +1,310 @@
+"""Plan cache, coverage memo and parallel registration.
+
+The invariants under test:
+
+1. Warm (cached-plan) answers are identical to cold answers, for every
+   strategy, including negative (unanswerable) outcomes.
+2. ``register_view`` and maintenance inserts/deletes invalidate the
+   plan cache — a warm system never serves answers a cold system built
+   at the same state would not produce (property test interleaving all
+   three operations).
+3. The coverage memo serves repeated (view, query) pairs without
+   recomputation and across strategies.
+4. Parallel bulk registration produces a byte-identical fragment store
+   to serial registration.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import MaterializedViewSystem, ViewNotAnswerableError, encode_tree, parse_xml
+from repro.core.maintenance import DocumentEditor
+from repro.core.plancache import PlanCache, PlanEntry
+from repro.xmltree.tree import XMLNode
+from repro.xpath.parser import parse_xpath
+
+from conftest import random_pattern, random_tree
+
+BOOK_XML = """
+<b>
+  <t/> <a/>
+  <s> <t/> <p/> <f><i/></f> </s>
+  <s> <t/> <p/> <p/>
+    <s> <t/> <p/> <f><i/></f> </s>
+    <s> <t/> <p/> </s>
+  </s>
+</b>
+"""
+
+
+def _book_system(**kwargs) -> MaterializedViewSystem:
+    document = encode_tree(parse_xml(BOOK_XML))
+    system = MaterializedViewSystem(document, **kwargs)
+    system.register_view("V1", "s[t]/p")
+    system.register_view("V4", "s[p]/f")
+    return system
+
+
+# ----------------------------------------------------------------------
+# PlanCache unit behavior
+# ----------------------------------------------------------------------
+def test_plan_cache_lru_eviction():
+    cache = PlanCache(maxsize=2)
+    pattern = parse_xpath("//a")
+    for key in ("k1", "k2", "k3"):
+        cache.put(key, "HV", PlanEntry(pattern))
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    assert cache.get("k1", "HV") is None  # evicted (oldest)
+    assert cache.get("k3", "HV") is not None
+
+
+def test_plan_cache_disabled():
+    cache = PlanCache(maxsize=0)
+    cache.put("k", "HV", PlanEntry(parse_xpath("//a")))
+    assert len(cache) == 0 and not cache.enabled
+
+
+def test_plan_cache_clear_counts_invalidations():
+    cache = PlanCache()
+    cache.clear()  # empty clear is not an invalidation
+    assert cache.stats.invalidations == 0
+    cache.put("k", "HV", PlanEntry(parse_xpath("//a")))
+    cache.clear()
+    assert cache.stats.invalidations == 1 and len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# Warm answers and statistics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", ["HV", "MV", "MN", "CB"])
+def test_warm_answer_equals_cold(strategy):
+    system = _book_system()
+    query = "s[f//i][t]/p"
+    cold = system.answer(query, strategy)
+    warm = system.answer(query, strategy)
+    assert not cold.plan_cache_hit and warm.plan_cache_hit
+    assert warm.codes == cold.codes == system.direct_codes(query)
+    assert warm.view_ids == cold.view_ids
+    stats = system.stats()
+    assert stats["plan_cache"]["hits"] >= 1
+
+
+def test_warm_codes_are_independent_copies():
+    system = _book_system()
+    first = system.answer("s[t]/p")
+    first.codes.append((9, 9, 9))  # caller mutates its outcome
+    second = system.answer("s[t]/p")
+    assert (9, 9, 9) not in second.codes
+
+
+def test_equivalent_spellings_share_a_plan():
+    system = _book_system()
+    system.answer("s[t]/p")
+    outcome = system.answer("//s[t]/p")  # same canonical pattern
+    assert outcome.plan_cache_hit
+
+
+def test_negative_outcome_is_cached_and_replayed():
+    system = _book_system()
+    with pytest.raises(ViewNotAnswerableError) as cold:
+        system.answer("//a")
+    with pytest.raises(ViewNotAnswerableError) as warm:
+        system.answer("//a")
+    assert str(warm.value) == str(cold.value)
+    assert warm.value.uncovered == cold.value.uncovered
+    assert system.stats()["plan_cache"]["hits"] == 1
+
+
+def test_coverage_memo_shared_across_strategies():
+    system = _book_system()
+    query = "s[f//i][t]/p"
+    system.answer(query, "MN")
+    computed = system._memo.computed
+    system.answer(query, "MV")  # same (view, query) pairs
+    assert system._memo.computed == computed
+    assert system._memo.served > 0
+
+
+def test_plan_cache_can_be_disabled():
+    system = _book_system(plan_cache_size=0)
+    query = "s[f//i][t]/p"
+    first = system.answer(query)
+    second = system.answer(query)
+    assert not first.plan_cache_hit and not second.plan_cache_hit
+    assert second.codes == system.direct_codes(query)
+
+
+# ----------------------------------------------------------------------
+# Invalidation
+# ----------------------------------------------------------------------
+def test_register_view_invalidates_plans():
+    system = _book_system()
+    query = "s[f//i][t]/p"
+    system.answer(query)
+    system.register_view("V9", "s/f")
+    outcome = system.answer(query)
+    assert not outcome.plan_cache_hit  # cache was cleared
+    assert outcome.codes == system.direct_codes(query)
+    assert system.stats()["plan_cache"]["invalidations"] >= 1
+
+
+def test_register_view_unlocks_cached_negative():
+    document = encode_tree(parse_xml(BOOK_XML))
+    system = MaterializedViewSystem(document)
+    system.register_view("V1", "s[t]/p")
+    with pytest.raises(ViewNotAnswerableError):
+        system.answer("s[p]/f")
+    system.register_view("V4", "s[p]/f")
+    outcome = system.answer("s[p]/f")  # stale negative must not replay
+    assert outcome.codes == system.direct_codes("s[p]/f")
+
+
+def test_maintenance_insert_invalidates_plans():
+    system = _book_system()
+    query = "s[t]/p"
+    before = system.answer(query)
+    editor = DocumentEditor(system)
+    # Grow a new paragraph under the first section (code prefix 0.3).
+    target = next(
+        node for node in system.document.tree.iter_nodes() if node.label == "s"
+    )
+    editor.insert_subtree(target.dewey, XMLNode("p"))
+    after = system.answer(query)
+    assert not after.plan_cache_hit
+    assert after.codes == system.direct_codes(query)
+    assert len(after.codes) == len(before.codes) + 1
+
+
+def test_maintenance_delete_invalidates_plans():
+    system = _book_system()
+    query = "s[t]/p"
+    before = system.answer(query)
+    target = min(code for code in before.codes)
+    DocumentEditor(system).delete_subtree(target)
+    after = system.answer(query)
+    assert not after.plan_cache_hit
+    assert after.codes == system.direct_codes(query)
+    assert target not in after.codes
+
+
+# ----------------------------------------------------------------------
+# Property: interleaved mutations never leave stale answers
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**9))
+def test_interleaved_mutations_match_cold_system(seed):
+    """Drive one long-lived (warm) system through an interleaving of
+    answers, view registrations, inserts and deletes; after every step,
+    a cold system built from the current state must agree on every
+    strategy's answer (or on unanswerability)."""
+    rng = random.Random(seed)
+    tree = random_tree(rng, max_nodes=24, max_depth=4)
+    document = encode_tree(tree)
+    warm = MaterializedViewSystem(document)
+    editor = DocumentEditor(warm)
+    for index in range(4):
+        warm.register_view(f"v{index}", random_pattern(rng, max_nodes=4))
+    queries = [random_pattern(rng, max_nodes=4) for _ in range(3)]
+
+    def check_against_cold():
+        cold = MaterializedViewSystem(document, plan_cache_size=0)
+        for view in warm._views.values():
+            cold.register_view(view.view_id, view.pattern.copy())
+        for query in queries:
+            for strategy in ("HV", "MN"):
+                try:
+                    expected = cold.answer(query.copy(), strategy).codes
+                except ViewNotAnswerableError:
+                    expected = None
+                try:
+                    actual = warm.answer(query, strategy).codes
+                except ViewNotAnswerableError:
+                    actual = None
+                assert actual == expected, (
+                    strategy,
+                    query.to_xpath(mark_answer=True),
+                )
+
+    check_against_cold()  # populate the warm cache
+    next_view = 4
+    for _ in range(3):
+        operation = rng.choice(("register", "insert", "delete", "answer"))
+        if operation == "register":
+            warm.register_view(f"v{next_view}", random_pattern(rng, max_nodes=4))
+            next_view += 1
+        elif operation == "insert":
+            nodes = list(warm.document.tree.iter_nodes())
+            parent = rng.choice(nodes)
+            label = rng.choice(sorted(warm.document.tree.labels()))
+            editor.insert_subtree(parent.dewey, XMLNode(label))
+        elif operation == "delete":
+            nodes = [
+                node
+                for node in warm.document.tree.iter_nodes()
+                if node.parent is not None
+            ]
+            if nodes:
+                editor.delete_subtree(rng.choice(nodes).dewey)
+        else:
+            for query in queries:
+                warm.try_answer(query)
+        check_against_cold()
+
+
+# ----------------------------------------------------------------------
+# Parallel registration
+# ----------------------------------------------------------------------
+def test_parallel_registration_matches_serial(monkeypatch):
+    """Force the pool path (2 workers, low threshold) and compare the
+    resulting store byte-for-byte against a serially registered twin."""
+    import repro.core.system as system_module
+
+    monkeypatch.setattr(system_module, "MIN_PARALLEL_VIEWS", 1)
+    views = {
+        "V1": "s[t]/p",
+        "V4": "s[p]/f",
+        "V5": "//s//f",
+        "V6": "b/s[t]",
+    }
+    serial = _twin_system()
+    serial_ids = serial.register_views(dict(views), workers=0)
+
+    parallel = _twin_system()
+    parallel_ids = parallel.register_views(dict(views), workers=2)
+
+    assert parallel_ids == serial_ids
+    for view_id in views:
+        assert parallel.fragments.codes(view_id) == serial.fragments.codes(view_id)
+        assert parallel.fragments.fragment_bytes(
+            view_id
+        ) == serial.fragments.fragment_bytes(view_id)
+    query = "s[f//i][t]/p"
+    assert (
+        parallel.answer(query).codes
+        == serial.answer(query).codes
+        == parallel.direct_codes(query)
+    )
+    assert parallel.stats()["views"]["registered_parallel"] == len(views)
+
+
+def test_register_views_serial_below_threshold():
+    system = _twin_system()
+    system.register_views({"V1": "s[t]/p"}, workers=8)
+    assert system.stats()["views"]["registered_parallel"] == 0
+
+
+def test_parallel_duplicate_id_raises(monkeypatch):
+    import repro.core.system as system_module
+
+    monkeypatch.setattr(system_module, "MIN_PARALLEL_VIEWS", 1)
+    system = _twin_system()
+    system.register_view("V1", "s[t]/p")
+    with pytest.raises(ValueError):
+        system.register_views({"V1": "s[t]/p", "V2": "s[p]/f"}, workers=2)
+
+
+def _twin_system() -> MaterializedViewSystem:
+    return MaterializedViewSystem(encode_tree(parse_xml(BOOK_XML)))

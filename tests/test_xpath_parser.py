@@ -160,3 +160,36 @@ class TestRoundTrip:
     def test_to_xpath_reparses_identically(self, expression):
         pattern = parse_xpath(expression)
         assert parse_xpath(pattern.to_xpath()) == pattern
+
+
+class TestParseCache:
+    """parse_xpath memoizes on the expression string but must hand each
+    caller a private pattern — mutating one parse can never leak into a
+    later parse of the same expression."""
+
+    def test_cached_parse_is_equal_but_independent(self):
+        from repro.xpath.parser import parse_cache_clear, parse_cache_info
+
+        parse_cache_clear()
+        first = parse_xpath("s[f//i][t]/p")
+        second = parse_xpath("s[f//i][t]/p")
+        assert parse_cache_info().hits >= 1
+        assert first == second
+        assert first is not second
+        shared = {id(node) for node in first.iter_nodes()} & {
+            id(node) for node in second.iter_nodes()
+        }
+        assert not shared  # no structural aliasing at all
+
+    def test_caller_mutation_does_not_poison_cache(self):
+        baseline = parse_xpath("//a[b]/c")
+        mutated = parse_xpath("//a[b]/c")
+        mutated.ret.new_child("z", Axis.CHILD)
+        fresh = parse_xpath("//a[b]/c")
+        assert fresh == baseline
+        assert fresh != mutated
+
+    def test_syntax_errors_are_not_cached(self):
+        for _ in range(2):  # identical failures on repeat calls
+            with pytest.raises(XPathSyntaxError):
+                parse_xpath("//a[")
