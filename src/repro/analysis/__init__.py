@@ -1,0 +1,21 @@
+"""Static analysis and runtime contracts for the reproduction.
+
+Two halves, both protecting the invariants PR 1's caching layer made
+load-bearing (see DESIGN.md §10 for the catalog):
+
+* :mod:`repro.analysis.engine` / :mod:`repro.analysis.rules` —
+  ``xmvrlint``, an AST-based linter with repo-specific rules (L1–L5):
+  plan-cache invalidation discipline, frozen interned patterns,
+  ``id()``-key escapes, wall-clock/randomness bans in ``core/``, and
+  public-API annotation coverage.  Run it with ``python -m repro lint``
+  or the ``xmvrlint`` console script.
+* :mod:`repro.analysis.contracts` — opt-in runtime assertions
+  (``XMVR_CHECK=1``, on by default under pytest) checking the paper's
+  guarantees at stage boundaries: document-ordered Dewey output, exact
+  leaf-cover equality of selected view sets, VFILTER soundness, and
+  sampled structural equality of cache-served plans.
+"""
+
+from __future__ import annotations
+
+__all__ = ["engine", "rules", "contracts", "lintcli"]

@@ -1,0 +1,368 @@
+"""``xmvrlint`` engine: rule registry, suppressions, output, exit codes.
+
+The linter is deliberately small and dependency-free: Python's ``ast``
+and ``tokenize`` modules are the whole parsing stack.  Rules are plugin
+classes registered with :func:`register`; each receives a parsed
+:class:`FileContext` and yields :class:`Violation` objects.
+
+Suppressions
+------------
+A comment anywhere on a flagged line (for function-level rules: the
+``def`` line the violation is reported at) disables named rules::
+
+    fits = store.materialize(...)  # xmvrlint: disable=L1 -- justification
+
+``disable=all`` disables every rule for the line, and
+``disable-file=L4`` (on any line) disables a rule for the whole file.
+Text after the rule list is ignored, so justifications are free-form.
+
+Exit codes
+----------
+``0`` — clean, ``1`` — violations found, ``2`` — usage or internal
+error (unreadable/unparsable file, unknown rule id).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_VIOLATIONS",
+    "EXIT_ERROR",
+    "Violation",
+    "FileContext",
+    "Rule",
+    "LintError",
+    "register",
+    "all_rules",
+    "lint_paths",
+    "render_human",
+    "render_json",
+    "apply_return_none_fixes",
+]
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+#: Fix tag understood by :func:`apply_return_none_fixes`.
+FIX_RETURN_NONE = "add-return-none"
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One rule hit at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    fix: str | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+        if self.fix is not None:
+            payload["fix"] = self.fix
+        return payload
+
+
+class LintError(Exception):
+    """Unrecoverable problem (exit code 2): bad file, bad rule id."""
+
+
+_SUPPRESS = re.compile(
+    r"xmvrlint:\s*(disable(?:-file)?)\s*=\s*"
+    r"([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)"
+)
+
+
+def _parse_suppressions(
+    source: str,
+) -> tuple[dict[int, set[str]], set[str]]:
+    """Scan comments for suppression pragmas.
+
+    Returns ``(per_line, per_file)``; rule ids are upper-cased, the
+    wildcard ``all``/``*`` becomes ``"*"``.
+    """
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return per_line, per_file
+    for line, text in comments:
+        match = _SUPPRESS.search(text)
+        if match is None:
+            continue
+        rules = {
+            "*" if item.strip() in ("all", "*") else item.strip().upper()
+            for item in match.group(2).split(",")
+        }
+        if match.group(1) == "disable-file":
+            per_file.update(rules)
+        else:
+            per_line.setdefault(line, set()).update(rules)
+    return per_line, per_file
+
+
+@dataclass(slots=True)
+class FileContext:
+    """Everything a rule needs about one source file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    file_suppressions: set[str] = field(default_factory=set)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return Path(self.relpath).parts
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        if "*" in self.file_suppressions or rule_id in self.file_suppressions:
+            return True
+        active = self.line_suppressions.get(line, ())
+        return "*" in active or rule_id in active
+
+    @classmethod
+    def load(cls, path: Path, root: Path | None = None) -> "FileContext":
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise LintError(f"{path}: cannot read: {error}") from error
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            raise LintError(f"{path}: syntax error: {error}") from error
+        try:
+            relpath = str(path.relative_to(root)) if root else str(path)
+        except ValueError:
+            relpath = str(path)
+        per_line, per_file = _parse_suppressions(source)
+        return cls(
+            path=path,
+            relpath=Path(relpath).as_posix(),
+            source=source,
+            tree=tree,
+            line_suppressions=per_line,
+            file_suppressions=per_file,
+        )
+
+
+class Rule:
+    """Base class for lint rules; subclasses register with @register."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def applies_to(self, context: FileContext) -> bool:
+        return True
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self,
+        context: FileContext,
+        node: ast.AST,
+        message: str,
+        fix: str | None = None,
+    ) -> Violation:
+        return Violation(
+            rule=self.rule_id,
+            path=context.relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+            fix=fix,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule class {cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate registered rules, optionally restricted to ids in
+    ``select``.  Unknown ids raise :class:`LintError` (exit code 2)."""
+    # Rules live in a sibling module; importing it populates the
+    # registry exactly once.
+    from . import rules as _rules  # noqa: F401
+
+    if select is None:
+        wanted = sorted(_REGISTRY)
+    else:
+        wanted = [item.strip().upper() for item in select if item.strip()]
+        unknown = [item for item in wanted if item not in _REGISTRY]
+        if unknown:
+            raise LintError(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(_REGISTRY))}"
+            )
+    return [_REGISTRY[rule_id]() for rule_id in wanted]
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py" and path.exists():
+            files.append(path)
+        elif not path.exists():
+            raise LintError(f"{path}: no such file or directory")
+    # De-duplicate while preserving order (overlapping path arguments).
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+    root: Path | None = None,
+) -> list[Violation]:
+    """Lint every ``*.py`` under ``paths``; returns surviving violations
+    (suppressed ones are dropped here)."""
+    active = list(rules) if rules is not None else all_rules()
+    if root is None:
+        root = Path.cwd()
+    found: list[Violation] = []
+    for path in iter_python_files(paths):
+        context = FileContext.load(path, root=root)
+        for rule in active:
+            if not rule.applies_to(context):
+                continue
+            for violation in rule.check(context):
+                if not context.suppressed(violation.line, violation.rule):
+                    found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
+    return found
+
+
+# ----------------------------------------------------------------------
+# output
+# ----------------------------------------------------------------------
+def render_human(violations: Sequence[Violation]) -> str:
+    if not violations:
+        return "xmvrlint: clean"
+    lines = [
+        f"{v.path}:{v.line}:{v.column + 1}: {v.rule} {v.message}"
+        for v in violations
+    ]
+    lines.append(f"xmvrlint: {len(violations)} violation(s)")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    return json.dumps(
+        {
+            "violations": [v.as_dict() for v in violations],
+            "count": len(violations),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# --fix: insert "-> None" on obvious procedures
+# ----------------------------------------------------------------------
+def _return_none_insertions(path: Path, lines_to_fix: set[int]) -> list[tuple[int, int]]:
+    """For each ``def`` starting on a line in ``lines_to_fix``, locate
+    the position of the ``:`` ending its signature.  Returns ``(row,
+    col)`` insertion points (1-based row), found with ``tokenize`` so
+    strings/comments inside default arguments cannot confuse the scan.
+    """
+    source = path.read_text(encoding="utf-8")
+    tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    insertions: list[tuple[int, int]] = []
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if (
+            token.type == tokenize.NAME
+            and token.string == "def"
+            and token.start[0] in lines_to_fix
+        ):
+            depth = 0
+            scan = index + 1
+            while scan < len(tokens):
+                probe = tokens[scan]
+                if probe.type == tokenize.OP:
+                    if probe.string in "([{":
+                        depth += 1
+                    elif probe.string in ")]}":
+                        depth -= 1
+                    elif probe.string == ":" and depth == 0:
+                        insertions.append(probe.start)
+                        break
+                scan += 1
+            index = scan
+        index += 1
+    return insertions
+
+
+def apply_return_none_fixes(violations: Sequence[Violation]) -> int:
+    """Rewrite files, adding ``-> None`` for fixable L5 violations.
+
+    Only violations tagged :data:`FIX_RETURN_NONE` are touched — the
+    rule marks a function fixable exactly when it provably returns
+    nothing (no ``return value``, no ``yield``).  Returns the number of
+    signatures rewritten.
+    """
+    by_path: dict[str, set[int]] = {}
+    for violation in violations:
+        if violation.fix == FIX_RETURN_NONE:
+            by_path.setdefault(violation.path, set()).add(violation.line)
+    fixed = 0
+    for relpath, lines in by_path.items():
+        path = Path(relpath)
+        insertions = _return_none_insertions(path, lines)
+        if not insertions:
+            continue
+        text_lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        # Bottom-up so earlier insertion points stay valid.
+        for row, col in sorted(insertions, reverse=True):
+            line = text_lines[row - 1]
+            text_lines[row - 1] = line[:col] + " -> None" + line[col:]
+            fixed += 1
+        path.write_text("".join(text_lines), encoding="utf-8")
+    return fixed

@@ -1,0 +1,99 @@
+"""Command-line front end for xmvrlint.
+
+Two entry points share this module: ``python -m repro lint`` (the
+subcommand registered in :mod:`repro.cli`) and the ``xmvrlint`` console
+script declared in ``pyproject.toml``.  Both accept the same options
+and honor the same exit-code contract (0 clean / 1 violations /
+2 error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_VIOLATIONS,
+    LintError,
+    all_rules,
+    apply_return_none_fixes,
+    lint_paths,
+    render_human,
+    render_json,
+)
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the lint options on ``parser`` (shared with repro.cli)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="auto-insert '-> None' on obvious procedures flagged by L5",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
+def run_lint(arguments: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed arguments."""
+    try:
+        select = (
+            arguments.select.split(",") if arguments.select else None
+        )
+        rules = all_rules(select)
+        if arguments.list_rules:
+            for rule in rules:
+                print(f"{rule.rule_id}: {rule.summary}")
+            return EXIT_CLEAN
+        violations = lint_paths(arguments.paths, rules)
+        if arguments.fix:
+            fixed = apply_return_none_fixes(violations)
+            if fixed:
+                print(f"xmvrlint: fixed {fixed} signature(s)", file=sys.stderr)
+                violations = lint_paths(arguments.paths, rules)
+    except LintError as error:
+        print(f"xmvrlint: error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    if arguments.format == "json":
+        print(render_json(violations))
+    else:
+        print(render_human(violations))
+    return EXIT_VIOLATIONS if violations else EXIT_CLEAN
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="xmvrlint",
+        description="Project-invariant static analysis for the XMVR "
+                    "reproduction (rules L1-L5; see DESIGN.md §10)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,653 @@
+"""The xmvrlint rule set (L1–L5).
+
+Each rule encodes one repo-specific invariant that PR 1's caching layer
+turned load-bearing; DESIGN.md §10 ties every rule to the mechanism it
+protects.  The rules are intentionally conservative approximations —
+they must never miss the failure mode they exist for, and the
+suppression pragma exists for the rare justified exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import FIX_RETURN_NONE, FileContext, Rule, Violation, register
+
+__all__ = [
+    "InvalidatePlansRule",
+    "FrozenPatternRule",
+    "IdKeyEscapeRule",
+    "WallClockRule",
+    "PublicAnnotationsRule",
+]
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+def _attr_chain(node: ast.expr) -> tuple[str, ...] | None:
+    """``self.system.fragments`` -> ('self', 'system', 'fragments');
+    None when the expression is not a pure Name/Attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def _function_defs(tree: ast.Module) -> Iterator[tuple[ast.ClassDef | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Module-level and class-level function definitions (not nested)."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, node
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield node, member
+
+
+def _own_nodes(function: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested defs."""
+    stack: list[ast.AST] = list(function.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _contains_id_call(node: ast.AST) -> bool:
+    return any(
+        isinstance(probe, ast.Call)
+        and isinstance(probe.func, ast.Name)
+        and probe.func.id == "id"
+        for probe in ast.walk(node)
+    )
+
+
+# ======================================================================
+# L1 — cache-invalidation discipline
+# ======================================================================
+#: Classes whose methods are held to the invalidation discipline.
+_L1_CLASSES = {"MaterializedViewSystem", "XMVRSystem", "DocumentEditor"}
+#: Expressions denoting "the system object" inside those classes.
+_L1_SYSTEM = {("self",), ("system",), ("self", "system")}
+#: Expressions denoting "the encoded document".
+_L1_DOCUMENT = {("document",)} | {base + ("document",) for base in _L1_SYSTEM}
+#: System attributes whose (re)assignment is answering-state mutation.
+_L1_STATE_ATTRS = {"_views", "_materialized", "vfilter", "fragments"}
+#: Document attributes whose reassignment stales every plan.
+_L1_DOCUMENT_ATTRS = {"schema", "fst"}
+#: Mutating methods, keyed by the attribute they are reached through.
+_L1_FRAGMENT_METHODS = {"materialize", "materialize_encoded", "drop"}
+_L1_VFILTER_METHODS = {"add_view", "add_views"}
+_L1_LIST_METHODS = {"append", "remove", "clear", "extend", "pop", "insert"}
+_L1_DOCUMENT_METHODS = {"invalidate"}
+#: Tree-surgery calls that mutate the base document on any receiver.
+_L1_ANY_RECEIVER_METHODS = {"detach", "add_child"}
+#: The call every mutation must be followed by (plus, transitively,
+#: same-class methods proven to always perform it).
+_L1_SEED = "_invalidate_plans"
+_L1_EXEMPT = {"__init__", _L1_SEED}
+
+
+def _l1_is_mutation(node: ast.AST) -> bool:
+    """Does this single AST node write view/fragment/document state?"""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        probe = target
+        if isinstance(probe, ast.Subscript):
+            probe = probe.value
+        if isinstance(probe, ast.Attribute):
+            base = _attr_chain(probe.value)
+            if base in _L1_SYSTEM and probe.attr in _L1_STATE_ATTRS:
+                return True
+            if base in _L1_DOCUMENT and probe.attr in _L1_DOCUMENT_ATTRS:
+                return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        method = node.func.attr
+        receiver = node.func.value
+        if method in _L1_ANY_RECEIVER_METHODS:
+            return True
+        chain = _attr_chain(receiver)
+        if chain is not None:
+            if method in _L1_DOCUMENT_METHODS and chain in _L1_DOCUMENT:
+                return True
+            if len(chain) >= 2 and chain[:-1] in _L1_SYSTEM:
+                holder = chain[-1]
+                if holder == "fragments" and method in _L1_FRAGMENT_METHODS:
+                    return True
+                if holder == "vfilter" and method in _L1_VFILTER_METHODS:
+                    return True
+                if holder == "_materialized" and method in _L1_LIST_METHODS:
+                    return True
+    return False
+
+
+def _l1_mutations(function: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.AST]:
+    return [node for node in _own_nodes(function) if _l1_is_mutation(node)]
+
+
+def _l1_calls_guaranteed(node: ast.AST, guaranteed: set[str]) -> bool:
+    """Does the expression (sub)tree call a guaranteed-invalidating
+    method on the system object?"""
+    for probe in ast.walk(node):
+        if isinstance(probe, ast.Call) and isinstance(
+            probe.func, ast.Attribute
+        ):
+            if probe.func.attr in guaranteed:
+                chain = _attr_chain(probe.func.value)
+                if chain in _L1_SYSTEM or chain == ("cls",):
+                    return True
+    return False
+
+
+def _l1_eager_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """Expressions a statement evaluates unconditionally (before any
+    branching or early exit it introduces)."""
+    if isinstance(stmt, ast.Expr):
+        return [stmt.value]
+    if isinstance(stmt, ast.Assign):
+        return [stmt.value]
+    if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        return [stmt.value]
+    if isinstance(stmt, ast.AugAssign):
+        return [stmt.value]
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Assert):
+        return [stmt.test]
+    return []
+
+
+def _l1_scan(
+    stmts: list[ast.stmt], called: bool, guaranteed: set[str]
+) -> tuple[bool, bool, bool]:
+    """Abstract interpretation of a statement block.
+
+    Returns ``(falls_through, called_at_end, bad_exit)`` where
+    ``bad_exit`` means some path ``return``s without the invalidation
+    call having happened.  ``raise`` is an exempt exit (a failing
+    operation is allowed to leave plans dropped or not — callers see
+    the exception).  Loops are assumed to run zero times, ``try`` is
+    handled conservatively: neither ever *establishes* the call, but
+    exits inside them are still checked.
+    """
+    bad = False
+    for stmt in stmts:
+        for expr in _l1_eager_exprs(stmt):
+            if _l1_calls_guaranteed(expr, guaranteed):
+                called = True
+        if isinstance(stmt, ast.Return):
+            ok = called or (
+                stmt.value is not None
+                and _l1_calls_guaranteed(stmt.value, guaranteed)
+            )
+            return False, called, bad or not ok
+        if isinstance(stmt, ast.Raise):
+            return False, called, bad
+        if isinstance(stmt, ast.If):
+            body_ft, body_called, body_bad = _l1_scan(
+                stmt.body, called, guaranteed
+            )
+            else_ft, else_called, else_bad = _l1_scan(
+                stmt.orelse, called, guaranteed
+            )
+            bad = bad or body_bad or else_bad
+            if not body_ft and not else_ft:
+                return False, called, bad
+            falling = [
+                flag
+                for through, flag in (
+                    (body_ft, body_called),
+                    (else_ft, else_called),
+                )
+                if through
+            ]
+            called = bool(falling) and all(falling)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            _, _, body_bad = _l1_scan(stmt.body, called, guaranteed)
+            _, _, else_bad = _l1_scan(stmt.orelse, called, guaranteed)
+            bad = bad or body_bad or else_bad
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            with_ft, with_called, with_bad = _l1_scan(
+                stmt.body, called, guaranteed
+            )
+            bad = bad or with_bad
+            if not with_ft:
+                return False, called, bad
+            called = with_called
+        elif isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            _, _, body_bad = _l1_scan(stmt.body, called, guaranteed)
+            bad = bad or body_bad
+            for handler in stmt.handlers:
+                _, _, handler_bad = _l1_scan(handler.body, called, guaranteed)
+                bad = bad or handler_bad
+            _, _, else_bad = _l1_scan(stmt.orelse, called, guaranteed)
+            bad = bad or else_bad
+            final_ft, final_called, final_bad = _l1_scan(
+                stmt.finalbody, called, guaranteed
+            )
+            bad = bad or final_bad
+            if not final_ft:
+                return False, called, bad
+            called = final_called
+    return True, called, bad
+
+
+def _l1_guarantee_set(classdef: ast.ClassDef) -> set[str]:
+    """Fixpoint: same-class methods that perform the invalidation call
+    on every normal exit path (so calling them counts as calling it)."""
+    methods = {
+        member.name: member
+        for member in classdef.body
+        if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    guaranteed = {_L1_SEED}
+    changed = True
+    while changed:
+        changed = False
+        for name, function in methods.items():
+            if name in guaranteed:
+                continue
+            falls_through, called, bad = _l1_scan(
+                function.body, False, guaranteed
+            )
+            if not bad and (not falls_through or called):
+                guaranteed.add(name)
+                changed = True
+    return guaranteed
+
+
+@register
+class InvalidatePlansRule(Rule):
+    """L1: state-writing system/maintenance methods must invalidate the
+    plan cache on every exit path (PR 1's total-invalidation contract)."""
+
+    rule_id = "L1"
+    summary = (
+        "methods of the answering system or document editor that write "
+        "view/fragment/document state must call _invalidate_plans() on "
+        "every normal exit path"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in context.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name not in _L1_CLASSES:
+                continue
+            guaranteed = _l1_guarantee_set(node)
+            for member in node.body:
+                if not isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if member.name in _L1_EXEMPT:
+                    continue
+                mutations = _l1_mutations(member)
+                if not mutations:
+                    continue
+                if member.name in guaranteed:
+                    continue
+                falls_through, called, bad = _l1_scan(
+                    member.body, False, guaranteed
+                )
+                if bad or (falls_through and not called):
+                    first = min(
+                        getattr(m, "lineno", member.lineno)
+                        for m in mutations
+                    )
+                    yield self.violation(
+                        context,
+                        member,
+                        f"{node.name}.{member.name} mutates answering "
+                        f"state (first write at line {first}) but does "
+                        "not call _invalidate_plans() on every exit "
+                        "path",
+                    )
+
+
+# ======================================================================
+# L2 — interned patterns are frozen after construction
+# ======================================================================
+#: Pattern-slot names unambiguous to PatternNode/TreePattern/PathPattern
+#: (``label``/``parent``/``children`` are shared with XMLNode and would
+#: flood the rule with false positives).
+_L2_FROZEN_ATTRS = {"axis", "constraints", "ret", "steps"}
+#: Construction modules allowed to write pattern slots.
+_L2_ALLOWED_FILES = {"builder.py", "parser.py", "normalize.py", "pattern.py"}
+
+
+@register
+class FrozenPatternRule(Rule):
+    """L2: no pattern-slot assignment outside the construction modules
+    — CoverageMemo and the plan cache key on canonical strings and
+    node identity of *interned* patterns."""
+
+    rule_id = "L2"
+    summary = (
+        "PatternNode/TreePattern/PathPattern slots may only be assigned "
+        "in xpath/{builder,parser,normalize,pattern}.py"
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        parts = context.parts
+        return not (
+            len(parts) >= 2
+            and parts[-2] == "xpath"
+            and parts[-1] in _L2_ALLOWED_FILES
+        )
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in _L2_FROZEN_ATTRS
+                ):
+                    yield self.violation(
+                        context,
+                        node,
+                        f"assignment to pattern slot .{target.attr} "
+                        "outside the construction modules; interned "
+                        "patterns are frozen after construction",
+                    )
+
+
+# ======================================================================
+# L3 — id()-keyed collections must not escape their strong reference
+# ======================================================================
+def _l3_id_keyed_construct(value: ast.AST) -> ast.AST | None:
+    """A dict/set construction using ``id(...)`` in key position, if
+    one occurs anywhere inside ``value``."""
+    for probe in ast.walk(value):
+        if isinstance(probe, ast.DictComp) and _contains_id_call(probe.key):
+            return probe
+        if isinstance(probe, ast.Dict) and any(
+            key is not None and _contains_id_call(key) for key in probe.keys
+        ):
+            return probe
+        if isinstance(probe, ast.SetComp) and _contains_id_call(probe.elt):
+            return probe
+        if isinstance(probe, ast.Set) and any(
+            _contains_id_call(elt) for elt in probe.elts
+        ):
+            return probe
+    return None
+
+
+def _l3_class_retains(classdef: ast.ClassDef) -> bool:
+    """The strong-reference convention: a class keeping the keyed
+    objects alive declares a ``pattern`` slot/attribute or one ending
+    in ``_refs`` (cf. ``leaf_cover._QueryMemo``)."""
+
+    def retaining_name(name: str) -> bool:
+        return name == "pattern" or name.endswith("_refs")
+
+    for node in ast.walk(classdef):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    for probe in ast.walk(node.value):
+                        if isinstance(probe, ast.Constant) and isinstance(
+                            probe.value, str
+                        ):
+                            if retaining_name(probe.value):
+                                return True
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and retaining_name(target.attr)
+                ):
+                    return True
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if retaining_name(node.target.id):
+                return True
+    return False
+
+
+@register
+class IdKeyEscapeRule(Rule):
+    """L3: id()-keyed dicts/sets stored on ``self`` or returned from
+    public functions dangle once the keyed objects are collected —
+    unless the owning class retains a strong reference (the
+    ``CoverageMemo``/``_QueryMemo`` pattern)."""
+
+    rule_id = "L3"
+    summary = (
+        "id()-keyed dict/set stored on self or returned across a module "
+        "boundary without a retained strong reference to the keyed "
+        "objects"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        retains: dict[str, bool] = {}
+        for node in context.tree.body:
+            if isinstance(node, ast.ClassDef):
+                retains[node.name] = _l3_class_retains(node)
+        for classdef, function in _function_defs(context.tree):
+            class_retains = (
+                retains.get(classdef.name, False) if classdef else False
+            )
+            public = not function.name.startswith("_")
+            for node in _own_nodes(function):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    if public and _l3_id_keyed_construct(node.value):
+                        yield self.violation(
+                            context,
+                            node,
+                            f"public function {function.name} returns an "
+                            "id()-keyed collection; identity keys are "
+                            "meaningless once the keyed objects are "
+                            "garbage-collected",
+                        )
+                targets: list[ast.expr] = []
+                value: ast.AST | None = None
+                if isinstance(node, ast.Assign):
+                    targets, value = list(node.targets), node.value
+                elif isinstance(node, ast.AnnAssign):
+                    targets, value = [node.target], node.value
+                for target in targets:
+                    store = target
+                    subscript_key: ast.AST | None = None
+                    if isinstance(store, ast.Subscript):
+                        subscript_key = store.slice
+                        store = store.value
+                    if not (
+                        isinstance(store, ast.Attribute)
+                        and isinstance(store.value, ast.Name)
+                        and store.value.id == "self"
+                    ):
+                        continue
+                    if class_retains:
+                        continue
+                    keyed = value is not None and _l3_id_keyed_construct(value)
+                    by_subscript = (
+                        subscript_key is not None
+                        and _contains_id_call(subscript_key)
+                    )
+                    if keyed or by_subscript:
+                        yield self.violation(
+                            context,
+                            node,
+                            f"id()-keyed collection stored on "
+                            f"self.{store.attr} without a retained "
+                            "strong reference (declare a 'pattern' "
+                            "slot/attribute or one ending in '_refs')",
+                        )
+
+
+# ======================================================================
+# L4 — no wall clock / randomness in core/
+# ======================================================================
+_L4_BANNED_CALLS = {("time", "time"), ("time", "clock")}
+_L4_NOW_NAMES = {"now", "utcnow", "today"}
+
+
+@register
+class WallClockRule(Rule):
+    """L4: ``core/`` stays deterministic and benchmark-honest — no
+    ``time.time()``, no ``random``, no ``datetime.now()`` outside
+    ``bench/`` (``time.perf_counter`` is fine: it measures, it does
+    not decide)."""
+
+    rule_id = "L4"
+    summary = "no time.time()/random/datetime.now() in core/ outside bench/"
+
+    def applies_to(self, context: FileContext) -> bool:
+        parts = context.parts
+        return "core" in parts and "bench" not in parts
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield self.violation(
+                            context, node, "import of random in core/"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.violation(
+                        context, node, "import from random in core/"
+                    )
+                elif node.module == "time" and any(
+                    alias.name in ("time", "clock") for alias in node.names
+                ):
+                    yield self.violation(
+                        context,
+                        node,
+                        "import of wall-clock time.time/time.clock in core/",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = (
+                    _attr_chain(node.func)
+                    if isinstance(node.func, ast.Attribute)
+                    else None
+                )
+                if chain is None:
+                    continue
+                if chain in _L4_BANNED_CALLS:
+                    yield self.violation(
+                        context,
+                        node,
+                        f"wall-clock call {'.'.join(chain)}() in core/",
+                    )
+                elif (
+                    chain[-1] in _L4_NOW_NAMES
+                    and chain[0] in ("datetime", "date")
+                ):
+                    yield self.violation(
+                        context,
+                        node,
+                        f"wall-clock call {'.'.join(chain)}() in core/",
+                    )
+
+
+# ======================================================================
+# L5 — public API annotation coverage
+# ======================================================================
+_L5_DIRS = {"core", "xpath", "storage", "analysis"}
+
+
+def _l5_is_procedure(function: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True when the function provably returns nothing: no ``return``
+    with a value, no ``yield`` — the ``--fix`` criterion."""
+    for node in _own_nodes(function):
+        if isinstance(node, ast.Return) and node.value is not None:
+            return False
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return False
+    return True
+
+
+@register
+class PublicAnnotationsRule(Rule):
+    """L5: every public function in core/, xpath/, storage/ (and
+    analysis/ itself) carries complete type annotations — the strict
+    typing gate's precondition."""
+
+    rule_id = "L5"
+    summary = (
+        "public functions in core/xpath/storage/analysis need parameter "
+        "and return annotations"
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        return bool(_L5_DIRS & set(context.parts))
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for classdef, function in _function_defs(context.tree):
+            if function.name.startswith("_"):
+                continue
+            if any(
+                isinstance(dec, ast.Name) and dec.id == "overload"
+                for dec in function.decorator_list
+            ):
+                continue
+            arguments = function.args
+            ordered = arguments.posonlyargs + arguments.args
+            skip_first = classdef is not None and not any(
+                isinstance(dec, ast.Name) and dec.id == "staticmethod"
+                for dec in function.decorator_list
+            )
+            if skip_first and ordered and ordered[0].arg in ("self", "cls"):
+                ordered = ordered[1:]
+            missing = [
+                arg.arg
+                for arg in (
+                    ordered
+                    + arguments.kwonlyargs
+                    + ([arguments.vararg] if arguments.vararg else [])
+                    + ([arguments.kwarg] if arguments.kwarg else [])
+                )
+                if arg.annotation is None
+            ]
+            owner = f"{classdef.name}." if classdef else ""
+            if missing:
+                yield self.violation(
+                    context,
+                    function,
+                    f"public function {owner}{function.name} is missing "
+                    f"annotations for parameter(s): {', '.join(missing)}",
+                )
+            if function.returns is None:
+                yield self.violation(
+                    context,
+                    function,
+                    f"public function {owner}{function.name} is missing "
+                    "a return annotation",
+                    fix=(
+                        FIX_RETURN_NONE
+                        if _l5_is_procedure(function)
+                        else None
+                    ),
+                )

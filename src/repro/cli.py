@@ -10,6 +10,7 @@ system without writing code:
 * ``filter``    — show VFILTER candidates and ``LIST(P_i)`` for a query
   against a list of view definitions.
 * ``explain``   — print leaf covers and obligations for views vs a query.
+* ``lint``      — run the project's static-analysis pass (xmvrlint).
 """
 
 from __future__ import annotations
@@ -142,6 +143,12 @@ def _cmd_filter(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(arguments: argparse.Namespace) -> int:
+    from .analysis.lintcli import run_lint
+
+    return run_lint(arguments)
+
+
 def _cmd_explain(arguments: argparse.Namespace) -> int:
     query = parse_xpath(arguments.query)
     if arguments.document or arguments.full:
@@ -218,6 +225,14 @@ def main(argv: list[str] | None = None) -> int:
         help="materialize the views and show full selection diagnostics",
     )
     explain.set_defaults(handler=_cmd_explain)
+
+    lint = commands.add_parser(
+        "lint", help="run xmvrlint over the source tree"
+    )
+    from .analysis.lintcli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=_cmd_lint)
 
     arguments = parser.parse_args(argv)
     try:

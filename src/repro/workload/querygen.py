@@ -158,7 +158,9 @@ class QueryGenerator:
             for _ in range(config.num_pred):
                 host, _host_label = self.rng.choice(spine)
                 name = self.rng.choice(config.attributes)
-                host.constraints = host.constraints + (
+                # The pattern under construction is private to this
+                # generator; it is never interned before being returned.
+                host.constraints = host.constraints + (  # xmvrlint: disable=L2
                     AttributeConstraint(name),
                 )
 

@@ -20,6 +20,7 @@ step of the main path, matching XPath semantics.
 
 from __future__ import annotations
 
+import functools
 import re
 from functools import lru_cache
 
@@ -44,7 +45,7 @@ class _Scanner:
 
     __slots__ = ("text", "pos")
 
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         self.text = text
         self.pos = 0
 
@@ -190,7 +191,7 @@ def parse_xpath(expression: str) -> TreePattern:
     return _parse_cached(expression).copy()
 
 
-def parse_cache_info():
+def parse_cache_info() -> functools._CacheInfo:
     """``functools.lru_cache`` statistics of the parse cache."""
     return _parse_cached.cache_info()
 

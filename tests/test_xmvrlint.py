@@ -1,0 +1,445 @@
+"""Self-test corpus for xmvrlint (analysis/engine.py + rules.py).
+
+Each rule L1-L5 gets positive fixtures (seeded violations that must
+fire) and negative fixtures (compliant code that must stay clean),
+plus suppression handling, the exit-code contract, JSON output and the
+``--fix`` return-annotation inserter.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import engine
+from repro.analysis.engine import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_VIOLATIONS,
+    all_rules,
+    lint_paths,
+)
+from repro.analysis.lintcli import main as lint_main
+
+
+def _lint_snippet(tmp_path: Path, relpath: str, source: str, select=None):
+    """Write a snippet at ``tmp_path/relpath`` and lint it."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([target], all_rules(select), root=tmp_path)
+
+
+def _rules_hit(violations):
+    return {violation.rule for violation in violations}
+
+
+# ----------------------------------------------------------------------
+# L1 — invalidation discipline
+# ----------------------------------------------------------------------
+L1_MISSING = """
+    class XMVRSystem:
+        def register_view(self, view):
+            self._views[view.view_id] = view
+            return True
+"""
+
+L1_EARLY_RETURN = """
+    class MaterializedViewSystem:
+        def drop_view(self, view_id):
+            self.fragments.drop(view_id)
+            if view_id == "skip":
+                return False
+            self._invalidate_plans()
+            return True
+"""
+
+L1_OK_DIRECT = """
+    class XMVRSystem:
+        def register_view(self, view):
+            self._views[view.view_id] = view
+            self._invalidate_plans()
+            return True
+"""
+
+L1_OK_TRANSITIVE = """
+    class XMVRSystem:
+        def _admit(self, view):
+            self._views[view.view_id] = view
+            self._invalidate_plans()
+            return True
+
+        def register_view(self, view):
+            self.fragments.materialize(view.view_id, [])
+            return self._admit(view)
+"""
+
+L1_OK_BOTH_BRANCHES = """
+    class DocumentEditor:
+        def edit(self, node):
+            node.detach()
+            if node.label == "a":
+                self.system._invalidate_plans()
+            else:
+                self.system._invalidate_plans()
+            return node
+"""
+
+L1_OK_RAISE = """
+    class XMVRSystem:
+        def register_view(self, view):
+            if view.view_id in self._views:
+                raise ValueError("duplicate")
+            self._views[view.view_id] = view
+            self._invalidate_plans()
+"""
+
+L1_LOOP_ONLY = """
+    class XMVRSystem:
+        def register_many(self, views):
+            for view in views:
+                self.fragments.materialize(view.view_id, [])
+                self._invalidate_plans()
+            return views
+"""
+
+
+def test_l1_fires_on_missing_invalidation(tmp_path):
+    violations = _lint_snippet(tmp_path, "core/bad.py", L1_MISSING, ["L1"])
+    assert _rules_hit(violations) == {"L1"}
+    assert "register_view" in violations[0].message
+
+
+def test_l1_fires_on_uninvalidated_early_return(tmp_path):
+    violations = _lint_snippet(tmp_path, "core/bad.py", L1_EARLY_RETURN, ["L1"])
+    assert _rules_hit(violations) == {"L1"}
+
+
+def test_l1_loop_body_call_does_not_guarantee(tmp_path):
+    # A call inside a for-loop may run zero times; the rule must not
+    # accept it as covering the method's exit.
+    violations = _lint_snippet(tmp_path, "core/bad.py", L1_LOOP_ONLY, ["L1"])
+    assert _rules_hit(violations) == {"L1"}
+
+
+@pytest.mark.parametrize(
+    "source",
+    [L1_OK_DIRECT, L1_OK_TRANSITIVE, L1_OK_BOTH_BRANCHES, L1_OK_RAISE],
+    ids=["direct", "transitive", "both-branches", "raise-path"],
+)
+def test_l1_accepts_compliant_methods(tmp_path, source):
+    assert _lint_snippet(tmp_path, "core/ok.py", source, ["L1"]) == []
+
+
+def test_l1_ignores_unchecked_classes(tmp_path):
+    source = """
+        class SomethingElse:
+            def mutate(self):
+                self._views["x"] = 1
+    """
+    assert _lint_snippet(tmp_path, "core/ok.py", source, ["L1"]) == []
+
+
+# ----------------------------------------------------------------------
+# L2 — frozen interned patterns
+# ----------------------------------------------------------------------
+L2_BAD = """
+    def remark(pattern):
+        pattern.ret.axis = None
+        pattern.root.constraints = ()
+"""
+
+
+def test_l2_fires_outside_construction_modules(tmp_path):
+    violations = _lint_snippet(tmp_path, "core/bad.py", L2_BAD, ["L2"])
+    assert len(violations) == 2
+    assert _rules_hit(violations) == {"L2"}
+
+
+def test_l2_allows_construction_modules(tmp_path):
+    for allowed in ("builder.py", "parser.py", "normalize.py", "pattern.py"):
+        assert _lint_snippet(tmp_path, f"xpath/{allowed}", L2_BAD, ["L2"]) == []
+
+
+def test_l2_same_filename_outside_xpath_still_fires(tmp_path):
+    violations = _lint_snippet(tmp_path, "core/builder.py", L2_BAD, ["L2"])
+    assert _rules_hit(violations) == {"L2"}
+
+
+# ----------------------------------------------------------------------
+# L3 — id()-key escapes
+# ----------------------------------------------------------------------
+L3_SELF_STORE = """
+    class Memo:
+        def build(self, nodes):
+            self._index = {id(node): node.label for node in nodes}
+"""
+
+L3_SUBSCRIPT_STORE = """
+    class Memo:
+        def record(self, node, value):
+            self._index[id(node)] = value
+"""
+
+L3_PUBLIC_RETURN = """
+    def index_nodes(nodes):
+        return {id(node): node for node in nodes}
+"""
+
+L3_RETAINED = """
+    class Memo:
+        __slots__ = ("pattern", "_index")
+
+        def build(self, pattern):
+            self.pattern = pattern
+            self._index = {id(node): node.label for node in pattern.nodes}
+"""
+
+L3_PRIVATE_RETURN = """
+    def _index_nodes(nodes):
+        return {id(node): node for node in nodes}
+"""
+
+L3_LOCAL_ONLY = """
+    def count_distinct(nodes):
+        seen = {id(node) for node in nodes}
+        return len(seen)
+"""
+
+
+def test_l3_fires_on_self_stored_id_dict(tmp_path):
+    violations = _lint_snippet(tmp_path, "core/bad.py", L3_SELF_STORE, ["L3"])
+    assert _rules_hit(violations) == {"L3"}
+
+
+def test_l3_fires_on_id_subscript_store(tmp_path):
+    violations = _lint_snippet(
+        tmp_path, "core/bad.py", L3_SUBSCRIPT_STORE, ["L3"]
+    )
+    assert _rules_hit(violations) == {"L3"}
+
+
+def test_l3_fires_on_public_return(tmp_path):
+    violations = _lint_snippet(
+        tmp_path, "core/bad.py", L3_PUBLIC_RETURN, ["L3"]
+    )
+    assert _rules_hit(violations) == {"L3"}
+
+
+@pytest.mark.parametrize(
+    "source",
+    [L3_RETAINED, L3_PRIVATE_RETURN, L3_LOCAL_ONLY],
+    ids=["retained-slot", "private-fn", "local-only"],
+)
+def test_l3_accepts_safe_uses(tmp_path, source):
+    assert _lint_snippet(tmp_path, "core/ok.py", source, ["L3"]) == []
+
+
+# ----------------------------------------------------------------------
+# L4 — wall clock / randomness in core/
+# ----------------------------------------------------------------------
+L4_BAD = """
+    import random
+    import time
+
+    def jitter():
+        return time.time() + random.random()
+"""
+
+L4_OK = """
+    import time
+
+    def measure():
+        return time.perf_counter()
+"""
+
+
+def test_l4_fires_in_core(tmp_path):
+    violations = _lint_snippet(tmp_path, "core/bad.py", L4_BAD, ["L4"])
+    # import random, time.time() call, random.random() is reached via
+    # the banned import — at least the import and the call must fire.
+    assert _rules_hit(violations) == {"L4"}
+    assert len(violations) >= 2
+
+
+def test_l4_allows_perf_counter(tmp_path):
+    assert _lint_snippet(tmp_path, "core/ok.py", L4_OK, ["L4"]) == []
+
+
+def test_l4_ignores_bench_and_noncore(tmp_path):
+    assert _lint_snippet(tmp_path, "core/bench/b.py", L4_BAD, ["L4"]) == []
+    assert _lint_snippet(tmp_path, "workload/w.py", L4_BAD, ["L4"]) == []
+
+
+# ----------------------------------------------------------------------
+# L5 — public annotation coverage
+# ----------------------------------------------------------------------
+L5_BAD = """
+    def lookup(key, default=None):
+        return default
+
+    class Store:
+        def put(self, key: str, value):
+            self._data[key] = value
+"""
+
+L5_OK = """
+    def lookup(key: str, default: int | None = None) -> int | None:
+        return default
+
+    def _private(x):
+        return x
+
+    class Store:
+        def put(self, key: str, value: bytes) -> None:
+            self._data[key] = value
+"""
+
+
+def test_l5_fires_on_missing_annotations(tmp_path):
+    violations = _lint_snippet(tmp_path, "storage/bad.py", L5_BAD, ["L5"])
+    assert _rules_hit(violations) == {"L5"}
+    messages = " ".join(violation.message for violation in violations)
+    assert "lookup" in messages and "Store.put" in messages
+
+
+def test_l5_accepts_annotated_and_private(tmp_path):
+    assert _lint_snippet(tmp_path, "storage/ok.py", L5_OK, ["L5"]) == []
+
+
+def test_l5_only_watches_gated_directories(tmp_path):
+    assert _lint_snippet(tmp_path, "workload/bad.py", L5_BAD, ["L5"]) == []
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_line_suppression_disables_named_rule(tmp_path):
+    source = """
+        def remark(pattern):
+            pattern.ret.axis = None  # xmvrlint: disable=L2 -- test override
+    """
+    assert _lint_snippet(tmp_path, "core/x.py", source, ["L2"]) == []
+
+
+def test_line_suppression_is_rule_specific(tmp_path):
+    source = """
+        def remark(pattern):
+            pattern.ret.axis = None  # xmvrlint: disable=L4
+    """
+    violations = _lint_snippet(tmp_path, "core/x.py", source, ["L2"])
+    assert _rules_hit(violations) == {"L2"}
+
+
+def test_file_suppression(tmp_path):
+    source = """
+        # xmvrlint: disable-file=L2
+        def remark(pattern):
+            pattern.ret.axis = None
+    """
+    assert _lint_snippet(tmp_path, "core/x.py", source, ["L2"]) == []
+
+
+def test_suppression_on_def_line_covers_method_rule(tmp_path):
+    source = """
+        class XMVRSystem:
+            def rebuild(self):  # xmvrlint: disable=L1 -- fresh caches
+                self._views = {}
+    """
+    assert _lint_snippet(tmp_path, "core/x.py", source, ["L1"]) == []
+
+
+# ----------------------------------------------------------------------
+# CLI: exit codes, JSON output, --fix
+# ----------------------------------------------------------------------
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "core" / "clean.py"
+    clean.parent.mkdir(parents=True)
+    clean.write_text("X = 1\n", encoding="utf-8")
+    assert lint_main([str(clean)]) == EXIT_CLEAN
+
+    dirty = tmp_path / "core" / "dirty.py"
+    dirty.write_text(
+        "def remark(p):\n    p.ret.axis = None\n", encoding="utf-8"
+    )
+    assert lint_main([str(dirty), "--select", "L2"]) == EXIT_VIOLATIONS
+
+    assert lint_main([str(tmp_path / "missing.py")]) == EXIT_ERROR
+    assert lint_main([str(clean), "--select", "NOPE"]) == EXIT_ERROR
+    capsys.readouterr()
+
+
+def test_cli_json_output(tmp_path, capsys):
+    dirty = tmp_path / "core" / "dirty.py"
+    dirty.parent.mkdir(parents=True)
+    dirty.write_text(
+        "def remark(p):\n    p.ret.axis = None\n", encoding="utf-8"
+    )
+    assert (
+        lint_main([str(dirty), "--select", "L2", "--format", "json"])
+        == EXIT_VIOLATIONS
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["violations"][0]["rule"] == "L2"
+    assert payload["violations"][0]["line"] == 2
+
+
+def test_cli_syntax_error_is_exit_2(tmp_path, capsys):
+    broken = tmp_path / "core" / "broken.py"
+    broken.parent.mkdir(parents=True)
+    broken.write_text("def broken(:\n", encoding="utf-8")
+    assert lint_main([str(broken)]) == EXIT_ERROR
+    capsys.readouterr()
+
+
+def test_fix_inserts_return_none(tmp_path, capsys):
+    target = tmp_path / "storage" / "fixme.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        textwrap.dedent(
+            """
+            def reset(store: dict,
+                      eager: bool = False):
+                store.clear()
+
+            def fetch(store: dict):
+                return store
+            """
+        ),
+        encoding="utf-8",
+    )
+    assert lint_main([str(target), "--select", "L5"]) == EXIT_VIOLATIONS
+    assert lint_main([str(target), "--select", "L5", "--fix"]) == EXIT_VIOLATIONS
+    rewritten = target.read_text(encoding="utf-8")
+    # The procedure gained "-> None" (on the line holding the ':')...
+    assert "eager: bool = False) -> None:" in rewritten
+    # ...the value-returning function was left for a human.
+    assert "def fetch(store: dict):" in rewritten
+    # Idempotent: a second --fix run changes nothing.
+    assert lint_main([str(target), "--select", "L5", "--fix"]) == EXIT_VIOLATIONS
+    assert target.read_text(encoding="utf-8") == rewritten
+    capsys.readouterr()
+
+
+def test_fixed_file_still_parses_and_is_clean_for_fixable(tmp_path, capsys):
+    target = tmp_path / "storage" / "proc.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "def reset(store: dict):\n    store.clear()\n", encoding="utf-8"
+    )
+    assert lint_main([str(target), "--select", "L5", "--fix"]) == EXIT_CLEAN
+    assert "-> None" in target.read_text(encoding="utf-8")
+    compile(target.read_text(encoding="utf-8"), str(target), "exec")
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# the repo itself is clean
+# ----------------------------------------------------------------------
+def test_repo_source_tree_is_clean():
+    src = Path(__file__).resolve().parent.parent / "src"
+    assert src.is_dir()
+    violations = lint_paths([src], all_rules(), root=src.parent)
+    assert violations == [], engine.render_human(violations)
