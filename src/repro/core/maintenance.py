@@ -165,6 +165,9 @@ class DocumentEditor:
         # Base-data indexes are stale too.
         self.system._node_index = None
         self.system._path_index = None
+        # Cached plans embed rewrite results over the old document;
+        # drop them here rather than relying on a later _refresh_views.
+        self.system._invalidate_plans()
 
     def _refresh_views(
         self,

@@ -168,23 +168,32 @@ class MaterializedViewSystem:
         if workers is None:
             workers = default_workers()
         if workers >= 2 and len(items) >= MIN_PARALLEL_VIEWS:
+            prepared = self._prepare_views(items)
+            payload = [(view.view_id, view.to_xpath()) for view in prepared]
             try:
-                return self._register_views_parallel(items, workers)
-            except ValueError:
-                raise
+                encoded = evaluate_views_parallel(
+                    self.document, payload, self.fragments.cap_bytes, workers
+                )
             except Exception:
-                # Pool unavailable or died; the pool work is pure, so
-                # nothing was registered — retry serially from scratch.
-                pass
+                # Pool unavailable or died mid-evaluation.  The pool
+                # work is pure — nothing has been admitted yet — so the
+                # serial path below starts from a clean slate.  (The
+                # admission loop is deliberately *outside* this try: a
+                # failure there leaves views registered, and retrying
+                # serially would double-register them.)
+                encoded = None
+            if encoded is not None:
+                return self._admit_encoded(prepared, encoded)
         return [
             view_id
             for view_id, expression in items
             if self.register_view(view_id, expression)
         ]
 
-    def _register_views_parallel(
-        self, items: list[tuple[str, str | TreePattern]], workers: int
-    ) -> list[str]:
+    def _prepare_views(
+        self, items: list[tuple[str, str | TreePattern]]
+    ) -> list[View]:
+        """Parse the batch and reject duplicate ids before any work."""
         prepared: list[View] = []
         for view_id, expression in items:
             if isinstance(expression, TreePattern):
@@ -194,10 +203,11 @@ class MaterializedViewSystem:
             if view.view_id in self._views:
                 raise ValueError(f"duplicate view id {view_id!r}")
             prepared.append(view)
-        payload = [(view.view_id, view.to_xpath()) for view in prepared]
-        encoded = evaluate_views_parallel(
-            self.document, payload, self.fragments.cap_bytes, workers
-        )
+        return prepared
+
+    def _admit_encoded(
+        self, prepared: list[View], encoded: dict[str, list[bytes] | None]
+    ) -> list[str]:
         registered: list[str] = []
         for view in prepared:
             fits = self.fragments.materialize_encoded(
@@ -206,6 +216,10 @@ class MaterializedViewSystem:
             if self._admit_view(view, fits):
                 registered.append(view.view_id)
         self._parallel_registered += len(prepared)
+        # _admit_view invalidates per admitted view, but that guarantee
+        # lives inside the loop; repeat it unconditionally so every path
+        # through this method drops stale plans (xmvrlint L1).
+        self._invalidate_plans()
         return registered
 
     # ------------------------------------------------------------------
@@ -220,7 +234,7 @@ class MaterializedViewSystem:
         self.fragments.store.put(key, encode_text(view.to_xpath()))
 
     @classmethod
-    def reopen(
+    def reopen(  # xmvrlint: disable=L1 -- fresh system: its plan cache starts empty
         cls,
         document: EncodedDocument,
         store: KVStore,

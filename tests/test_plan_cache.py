@@ -306,5 +306,34 @@ def test_parallel_duplicate_id_raises(monkeypatch):
         system.register_views({"V1": "s[t]/p", "V2": "s[p]/f"}, workers=2)
 
 
+def test_parallel_admission_failure_not_masked(monkeypatch):
+    """Regression: a failure while *admitting* pool-evaluated views
+    (after the pool succeeded) used to be swallowed by the pool-error
+    fallback, which then retried serially against half-registered state
+    and surfaced as a bogus duplicate-id ValueError.  The admission
+    error must propagate as itself, without double registration."""
+    import repro.core.system as system_module
+
+    monkeypatch.setattr(system_module, "MIN_PARALLEL_VIEWS", 1)
+    system = _twin_system()
+
+    real_materialize = system.fragments.materialize_encoded
+    calls = {"n": 0}
+
+    def flaky(view_id, encoded):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise RuntimeError("store failed mid-admission")
+        return real_materialize(view_id, encoded)
+
+    monkeypatch.setattr(system.fragments, "materialize_encoded", flaky)
+    with pytest.raises(RuntimeError, match="mid-admission"):
+        system.register_views({"V1": "s[t]/p", "V4": "s[p]/f"}, workers=2)
+    # The first view was admitted before the failure; nothing was
+    # registered twice and the serial path never ran.
+    assert list(system._views) == ["V1"]
+    assert system.stats()["views"]["registered_serial"] == 0
+
+
 def _twin_system() -> MaterializedViewSystem:
     return MaterializedViewSystem(encode_tree(parse_xml(BOOK_XML)))
