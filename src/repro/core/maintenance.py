@@ -130,9 +130,13 @@ class DocumentEditor:
         """Assign codes to the appended subtree (existing codes keep)."""
         schema = self.system.document.schema
         siblings = parent.children
-        previous = (
-            siblings[-2].dewey[-1] if len(siblings) > 1 else None
-        )
+        # The last *coded* existing sibling seeds component assignment;
+        # uncoded siblings (nodes attached directly to the tree, never
+        # encoded) must be skipped, not indexed into.
+        previous: int | None = None
+        for sibling in siblings[:-1]:
+            if sibling.dewey is not None:
+                previous = sibling.dewey[-1]
         assert parent.dewey is not None
         component = assign_child_component(
             schema, parent.label, subtree.label, previous

@@ -86,6 +86,29 @@ class TestInsert:
         for node in system.document.tree.iter_nodes():
             assert system.document.fst.decode(node.dewey) == node.label_path()
 
+    def test_insert_after_uncoded_sibling(self):
+        """Regression: an uncoded sibling (a node attached directly to
+        the tree, never encoded) used to be indexed for its dewey code
+        (``siblings[-2].dewey[-1]`` → TypeError).  Component assignment
+        must skip uncoded siblings instead."""
+        system = _book_system()
+        editor = DocumentEditor(system)
+        first_s = system.document.tree.root.children[1]
+        stray = XMLNode("p")
+        first_s.add_child(stray)  # out-of-band: no editor, no code
+        system.document.tree.invalidate_indexes()
+
+        inserted = XMLNode("p")
+        editor.insert_subtree(first_s.dewey, inserted)
+        assert stray.dewey is None
+        assert inserted.dewey is not None
+        # The new code decodes to the right label path and does not
+        # collide with any existing sibling's code.
+        fst = system.document.fst
+        assert fst.decode(inserted.dewey) == inserted.label_path()
+        coded = [c.dewey for c in first_s.children if c.dewey is not None]
+        assert len(coded) == len(set(coded))
+
     def test_bad_parent_code(self):
         system = _book_system()
         with pytest.raises(EncodingError):
