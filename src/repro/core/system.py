@@ -28,6 +28,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..analysis import contracts
 from ..errors import ViewNotAnswerableError
 from ..matching.evaluate import evaluate
 from ..storage.fragments import DEFAULT_FRAGMENT_CAP, FragmentStore
@@ -38,12 +39,13 @@ from ..xmltree.dewey import DeweyCode
 from ..xpath.parser import parse_xpath
 from ..xpath.pattern import TreePattern
 from .contained import ContainedResult, maximal_contained_rewriting
-from .leaf_cover import CoverageMemo
+from .leaf_cover import CoverageMemo, CoverageUnit
 from .parallel import MIN_PARALLEL_VIEWS, default_workers, evaluate_views_parallel
 from .plancache import DEFAULT_PLAN_CACHE_SIZE, PlanCache, PlanEntry
 from .rewrite import RewriteResult, rewrite
 from .selection import (
     Selection,
+    UnitsFn,
     select_cost_based,
     select_heuristic,
     select_minimum,
@@ -116,6 +118,7 @@ class MaterializedViewSystem:
             "parse": 0.0, "lookup": 0.0, "rewrite": 0.0
         }
         self._answer_calls = 0
+        self._warm_hits = 0
         self._parallel_registered = 0
         self._serial_registered = 0
 
@@ -352,6 +355,47 @@ class MaterializedViewSystem:
             return self._answer_warm(entry, strategy, query_key, entered, started)
         return self._answer_cold(pattern, strategy, query_key, entered, started)
 
+    def _derive_selection(
+        self,
+        pattern: TreePattern,
+        strategy: str,
+        units_fn: UnitsFn | None = None,
+    ) -> tuple[FilterResult | None, Selection]:
+        """Filter + select for one query: the plan-derivation core.
+
+        With ``units_fn=None`` every coverage computation runs fresh
+        (no :class:`CoverageMemo`), which is what the contract layer
+        needs to cross-check cached plans against first principles.
+        """
+        if strategy == "MN":
+            return None, select_minimum(
+                self._materialized,
+                pattern,
+                self.fragments.fragment_bytes,
+                units_fn=units_fn,
+            )
+        filter_result = self.vfilter.filter(pattern)
+        if strategy in ("MV", "CB"):
+            candidates = [
+                self._views[view_id] for view_id in filter_result.candidates
+            ]
+            selector = select_minimum if strategy == "MV" else select_cost_based
+            selection = selector(
+                candidates,
+                pattern,
+                self.fragments.fragment_bytes,
+                units_fn=units_fn,
+            )
+        else:
+            selection = select_heuristic(
+                filter_result,
+                self._views.__getitem__,
+                pattern,
+                self.fragments.fragment_bytes,
+                units_fn=units_fn,
+            )
+        return filter_result, selection
+
     def _answer_cold(
         self,
         pattern: TreePattern,
@@ -362,49 +406,27 @@ class MaterializedViewSystem:
     ) -> AnswerOutcome:
         pattern = self._memo.intern(query_key, pattern)
 
-        def units_fn(view: View) -> list:
+        def units_fn(view: View) -> list[CoverageUnit]:
             return self._memo.units(view, query_key, pattern)
 
-        filter_result: FilterResult | None = None
         try:
-            if strategy == "MN":
-                selection = select_minimum(
-                    self._materialized,
-                    pattern,
-                    self.fragments.fragment_bytes,
-                    units_fn=units_fn,
-                )
-            else:
-                filter_result = self.vfilter.filter(pattern)
-                if strategy in ("MV", "CB"):
-                    candidates = [
-                        self._views[view_id]
-                        for view_id in filter_result.candidates
-                    ]
-                    selector = (
-                        select_minimum if strategy == "MV" else select_cost_based
-                    )
-                    selection = selector(
-                        candidates,
-                        pattern,
-                        self.fragments.fragment_bytes,
-                        units_fn=units_fn,
-                    )
-                else:
-                    selection = select_heuristic(
-                        filter_result,
-                        self._views.__getitem__,
-                        pattern,
-                        self.fragments.fragment_bytes,
-                        units_fn=units_fn,
-                    )
+            filter_result, selection = self._derive_selection(
+                pattern, strategy, units_fn=units_fn
+            )
         except ViewNotAnswerableError as error:
             self._plan_cache.put(
                 query_key,
                 strategy,
-                PlanEntry(pattern, filter_result, None, error=error),
+                PlanEntry(pattern, None, None, error=error),
             )
             raise
+        if contracts.enabled():
+            context = f"answer({query_key!r}, {strategy})"
+            contracts.check_selection_covers(selection, pattern, context)
+            if filter_result is not None:
+                contracts.check_vfilter_sound(
+                    pattern, filter_result, self._materialized, context
+                )
         lookup_done = time.perf_counter()
 
         result = rewrite(
@@ -417,6 +439,11 @@ class MaterializedViewSystem:
             query_key=query_key,
         )
         finished = time.perf_counter()
+
+        if contracts.enabled():
+            contracts.check_document_order(
+                result.codes, f"answer({query_key!r}, {strategy})"
+            )
 
         entry = PlanEntry(pattern, filter_result, selection)
         if self._cache_results:
@@ -450,6 +477,17 @@ class MaterializedViewSystem:
         entered: float,
         started: float,
     ) -> AnswerOutcome:
+        self._warm_hits += 1
+        if contracts.enabled() and (
+            (self._warm_hits - 1) % contracts.sample_every() == 0
+        ):
+            # Before trusting the cached plan (including a cached
+            # failure), re-derive it from first principles on a sampled
+            # fraction of warm hits.
+            contracts.check_plan_consistency(
+                self, entry, strategy,
+                f"answer({query_key!r}, {strategy}) [warm]",
+            )
         if entry.error is not None:
             raise entry.replay_error()
         assert entry.selection is not None
@@ -468,6 +506,10 @@ class MaterializedViewSystem:
             )
             if self._cache_results:
                 entry.result = result
+        if contracts.enabled():
+            contracts.check_document_order(
+                result.codes, f"answer({query_key!r}, {strategy}) [warm]"
+            )
         finished = time.perf_counter()
 
         self._stage_totals["lookup"] += lookup_done - started

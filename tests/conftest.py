@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+
+# Runtime contract checks (repro.analysis.contracts) are on for the
+# whole suite unless a test or the environment says otherwise.
+os.environ.setdefault("XMVR_CHECK", "1")
 
 from repro.xmltree import DocumentSchema, XMLNode, XMLTree, build_tree, encode_tree
 from repro.xpath.ast import Axis

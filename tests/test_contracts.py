@@ -1,0 +1,199 @@
+"""Runtime contract layer (repro.analysis.contracts).
+
+Three angles:
+
+* unit tests of the individual checks against hand-built good/bad
+  state;
+* a hypothesis property test: on generated documents, views and
+  queries, no contract fires anywhere in the answering pipeline and
+  answers still match ground truth — the contracts are *quiet* on a
+  correct system;
+* a mutation test: a system whose ``_invalidate_plans`` is a no-op
+  (the exact bug lint rule L1 guards against) serves a stale cached
+  plan, and the sampled plan-consistency contract catches it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import random_pattern, random_tree
+from repro.analysis import contracts
+from repro.analysis.contracts import ContractViolation
+from repro.core.selection import Selection
+from repro.core.system import MaterializedViewSystem
+from repro.core.vfilter import FilterResult
+from repro.core.view import View
+from repro.errors import ViewNotAnswerableError
+from repro.xmltree.builder import encode_tree
+from repro.xpath.parser import parse_xpath
+
+STRATEGIES = ("HV", "MV", "MN", "CB")
+
+
+@pytest.fixture(autouse=True)
+def _checks_on(monkeypatch):
+    monkeypatch.setenv("XMVR_CHECK", "1")
+    monkeypatch.setenv("XMVR_CHECK_SAMPLE", "1")
+
+
+# ----------------------------------------------------------------------
+# individual checks
+# ----------------------------------------------------------------------
+def test_enabled_reads_environment(monkeypatch):
+    monkeypatch.setenv("XMVR_CHECK", "0")
+    assert not contracts.enabled()
+    monkeypatch.setenv("XMVR_CHECK", "1")
+    assert contracts.enabled()
+
+
+def test_sample_every_parses_and_clamps(monkeypatch):
+    monkeypatch.setenv("XMVR_CHECK_SAMPLE", "3")
+    assert contracts.sample_every() == 3
+    monkeypatch.setenv("XMVR_CHECK_SAMPLE", "0")
+    assert contracts.sample_every() == 1
+    monkeypatch.setenv("XMVR_CHECK_SAMPLE", "nope")
+    assert contracts.sample_every() == 8
+
+
+def test_document_order_accepts_sorted_unique():
+    contracts.check_document_order([(1,), (1, 2), (2,)], "t")
+    contracts.check_document_order([], "t")
+
+
+def test_document_order_rejects_duplicates_and_inversions():
+    with pytest.raises(ContractViolation, match="document-ordered"):
+        contracts.check_document_order([(1,), (1,)], "t")
+    with pytest.raises(ContractViolation, match="document-ordered"):
+        contracts.check_document_order([(2,), (1,)], "t")
+
+
+def test_selection_covers_rejects_empty_selection():
+    pattern = parse_xpath("//a/b")
+    with pytest.raises(ContractViolation, match="does not cover"):
+        contracts.check_selection_covers(Selection([], []), pattern, "t")
+
+
+def test_selection_covers_accepts_self_view():
+    pattern = parse_xpath("//a/b")
+    view = View.from_xpath("v", "//a/b")
+    contracts.check_selection_covers(Selection([view], []), pattern, "t")
+
+
+def test_selection_covers_requires_delta_provider():
+    # //a[b] and //a/b share the leaf obligation {b} plus Δ; a view
+    # returning only the b-leaf of //a[b]'s sibling shape cannot
+    # provide Δ for a query whose answer is the a node.
+    pattern = parse_xpath("//a[b]")
+    view = View.from_xpath("v", "//a/b")
+    with pytest.raises(ContractViolation):
+        contracts.check_selection_covers(Selection([view], []), pattern, "t")
+
+
+def test_vfilter_sound_flags_dropped_usable_view():
+    pattern = parse_xpath("//a/b")
+    view = View.from_xpath("v", "//a/b")
+    empty = FilterResult(candidates=[])
+    with pytest.raises(ContractViolation, match="dropped view"):
+        contracts.check_vfilter_sound(pattern, empty, [view], "t")
+    # Listing the view as a candidate satisfies the lemma.
+    contracts.check_vfilter_sound(
+        pattern, FilterResult(candidates=["v"]), [view], "t"
+    )
+
+
+def test_vfilter_sound_allows_dropping_unusable_view():
+    pattern = parse_xpath("//a/b")
+    unrelated = View.from_xpath("v", "//x/y")
+    contracts.check_vfilter_sound(
+        pattern, FilterResult(candidates=[]), [unrelated], "t"
+    )
+
+
+# ----------------------------------------------------------------------
+# property test: contracts are quiet on a correct system
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_no_contract_fires_on_generated_workloads(seed):
+    rng = random.Random(seed)
+    tree = random_tree(rng, max_nodes=25, max_depth=5)
+    document = encode_tree(tree)
+    system = MaterializedViewSystem(document)
+    for index in range(rng.randint(1, 6)):
+        system.register_view(f"v{index}", random_pattern(rng, max_nodes=4))
+
+    queries = [random_pattern(rng, max_nodes=4) for _ in range(4)]
+    for pattern in queries:
+        expected = system.direct_codes(pattern)
+        for strategy in STRATEGIES:
+            # Twice per strategy: the second answer exercises the warm
+            # path, where XMVR_CHECK_SAMPLE=1 re-derives the plan.
+            for _ in range(2):
+                try:
+                    outcome = system.answer(pattern, strategy)
+                except ViewNotAnswerableError:
+                    continue
+                assert outcome.codes == expected
+
+
+# ----------------------------------------------------------------------
+# mutation test: broken invalidation is detected
+# ----------------------------------------------------------------------
+class _BrokenInvalidation(MaterializedViewSystem):
+    """The bug lint rule L1 exists to prevent, injected deliberately."""
+
+    def _invalidate_plans(self) -> None:  # xmvrlint: disable=L1 -- mutation under test
+        pass
+
+
+def _small_system(cls):
+    rng = random.Random(7)
+    tree = random_tree(rng, max_nodes=20, max_depth=4)
+    return cls(encode_tree(tree))
+
+
+def test_noop_invalidation_caught_by_plan_consistency():
+    system = _small_system(_BrokenInvalidation)
+    query = "//a"
+    # Cold miss: nothing answers //a yet; the failure is cached.
+    with pytest.raises(ViewNotAnswerableError):
+        system.answer(query, "HV")
+    # This registration *should* drop the cached negative plan, but the
+    # mutated _invalidate_plans leaves it in place.
+    system.register_view("va", "//a")
+    with pytest.raises(ContractViolation, match="stale negative"):
+        system.answer(query, "HV")
+
+
+def test_healthy_system_not_flagged():
+    system = _small_system(MaterializedViewSystem)
+    query = "//a"
+    with pytest.raises(ViewNotAnswerableError):
+        system.answer(query, "HV")
+    system.register_view("va", "//a")
+    outcome = system.answer(query, "HV")
+    assert outcome.codes == system.direct_codes(query)
+    # Warm repeat passes the sampled consistency check.
+    warm = system.answer(query, "HV")
+    assert warm.plan_cache_hit and warm.codes == outcome.codes
+
+
+def test_mutation_detection_requires_sampling(monkeypatch):
+    # With checks disabled the stale plan is silently replayed — the
+    # contract layer, not luck, is what catches the mutation above.
+    monkeypatch.setenv("XMVR_CHECK", "0")
+    system = _small_system(_BrokenInvalidation)
+    with pytest.raises(ViewNotAnswerableError):
+        system.answer("//a", "HV")
+    system.register_view("va", "//a")
+    with pytest.raises(ViewNotAnswerableError):
+        system.answer("//a", "HV")
