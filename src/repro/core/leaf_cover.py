@@ -254,7 +254,7 @@ class _QueryMemo:
 
     __slots__ = ("pattern", "units", "compensations")
 
-    def __init__(self, pattern: TreePattern):
+    def __init__(self, pattern: TreePattern) -> None:
         self.pattern = pattern
         #: view_id -> coverage_units(view, pattern)
         self.units: dict[str, list[CoverageUnit]] = {}
@@ -284,7 +284,7 @@ class CoverageMemo:
     redefines a view id, entries never go stale.
     """
 
-    def __init__(self, max_queries: int = 512):
+    def __init__(self, max_queries: int = 512) -> None:
         self.max_queries = max_queries
         self._queries: "OrderedDict[str, _QueryMemo]" = OrderedDict()
         self.computed = 0

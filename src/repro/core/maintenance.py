@@ -39,6 +39,7 @@ from ..xmltree.dewey import DeweyCode, assign_child_component, is_prefix
 from ..xmltree.tree import XMLNode
 from .system import MaterializedViewSystem
 from .vfilter import VFilter
+from .view import View
 
 __all__ = ["MaintenanceReport", "DocumentEditor"]
 
@@ -57,7 +58,7 @@ class MaintenanceReport:
 class DocumentEditor:
     """Apply base-document updates and keep materialized views fresh."""
 
-    def __init__(self, system: MaterializedViewSystem):
+    def __init__(self, system: MaterializedViewSystem) -> None:
         self.system = system
 
     # ------------------------------------------------------------------
@@ -221,7 +222,7 @@ class DocumentEditor:
 
     def _view_touched(
         self,
-        view,
+        view: View,
         changed_labels: set[str],
         target_code: DeweyCode | None,
     ) -> bool:

@@ -99,7 +99,7 @@ class PlanCacheStats:
 class PlanCache:
     """Bounded LRU of :class:`PlanEntry` keyed by (canonical, strategy)."""
 
-    def __init__(self, maxsize: int = DEFAULT_PLAN_CACHE_SIZE):
+    def __init__(self, maxsize: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple[str, str], PlanEntry] = OrderedDict()
         self.stats = PlanCacheStats()

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..analysis import contracts
 from ..errors import ViewNotAnswerableError
@@ -36,6 +37,7 @@ from ..storage.index import FullPathIndex, NodeIndex
 from ..storage.kvstore import KVStore
 from ..xmltree.builder import EncodedDocument
 from ..xmltree.dewey import DeweyCode
+from ..xmltree.tree import XMLNode
 from ..xpath.parser import parse_xpath
 from ..xpath.pattern import TreePattern
 from .contained import ContainedResult, maximal_contained_rewriting
@@ -59,7 +61,7 @@ __all__ = ["AnswerOutcome", "MaterializedViewSystem"]
 _STRATEGIES = ("HV", "MV", "MN", "CB")
 
 
-def _sorted_codes(answers) -> list[DeweyCode]:
+def _sorted_codes(answers: Iterable[XMLNode]) -> list[DeweyCode]:
     """Answer extraction shared by the baselines and ground truth:
     the sorted Dewey codes of every encoded answer node."""
     return sorted(node.dewey for node in answers if node.dewey is not None)
@@ -300,7 +302,7 @@ class MaterializedViewSystem:
         """
         self._plan_cache.clear()
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, object]:
         """Operational counters for the answering hot path."""
         return {
             "views": {

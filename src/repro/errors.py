@@ -66,9 +66,13 @@ class ViewNotAnswerableError(ReproError):
     actionable piece of information for a view-advisor workflow.
     """
 
-    def __init__(self, message: str, uncovered: frozenset | None = None):
+    def __init__(
+        self, message: str, uncovered: frozenset[object] | None = None
+    ):
         super().__init__(message)
-        self.uncovered = uncovered if uncovered is not None else frozenset()
+        self.uncovered: frozenset[object] = (
+            uncovered if uncovered is not None else frozenset()
+        )
 
 
 class RewritingError(ReproError):

@@ -37,7 +37,7 @@ class StepBuilder:
     designated answer node.
     """
 
-    def __init__(self, label: str, axis: Axis):
+    def __init__(self, label: str, axis: Axis) -> None:
         self._root = PatternNode(label, axis)
         self._spine = [self._root]
         self._ret_index: int | None = None

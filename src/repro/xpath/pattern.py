@@ -100,7 +100,7 @@ class TreePattern:
 
     __slots__ = ("root", "ret")
 
-    def __init__(self, root: PatternNode, ret: PatternNode):
+    def __init__(self, root: PatternNode, ret: PatternNode) -> None:
         if root.parent is not None:
             raise PatternError("pattern root must not have a parent")
         if not root.is_ancestor_or_self_of(ret):
@@ -273,7 +273,7 @@ class PathPattern:
 
     __slots__ = ("steps",)
 
-    def __init__(self, steps: tuple[Step, ...]):
+    def __init__(self, steps: tuple[Step, ...]) -> None:
         if not steps:
             raise PatternError("path pattern must have at least one step")
         self.steps = steps

@@ -1,0 +1,83 @@
+"""Strict-typing gate (mypy.ini).
+
+Two layers:
+
+* when mypy is importable, run it with the project config and require a
+  clean pass — this is the CI ``static-analysis`` job locally;
+* always (mypy or not), parse ``mypy.ini`` and enforce the ratchet
+  policy: the set of ``ignore_errors`` module globs may only ever
+  shrink relative to the frozen baseline below.  Adding an entry —
+  exempting *new* code from strict typing — fails immediately.
+"""
+
+from __future__ import annotations
+
+import configparser
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+MYPY_INI = REPO / "mypy.ini"
+
+#: Frozen at the introduction of the gate.  NEVER add to this set; when
+#: a module becomes strict-clean, delete its entry from mypy.ini (the
+#: subset assertion below keeps passing).
+RATCHET_BASELINE = {
+    "repro.xmltree.*",
+    "repro.matching.*",
+    "repro.workload.*",
+    "repro.storage.serialize",
+    "repro.storage.index",
+    "repro.bench.*",
+}
+
+#: Modules that must never appear in the ratchet: the strict-clean core
+#: the gate exists to protect.
+ALWAYS_STRICT_PREFIXES = ("repro.core", "repro.xpath", "repro.analysis")
+
+
+def _ratchet_entries() -> set[str]:
+    parser = configparser.ConfigParser()
+    parser.read(MYPY_INI)
+    entries = set()
+    for section in parser.sections():
+        if not section.startswith("mypy-"):
+            continue
+        if parser.getboolean(section, "ignore_errors", fallback=False):
+            entries.add(section[len("mypy-"):])
+    return entries
+
+
+def test_ratchet_only_shrinks():
+    entries = _ratchet_entries()
+    widened = entries - RATCHET_BASELINE
+    assert not widened, (
+        f"mypy ratchet grew: {sorted(widened)} — new code must be "
+        f"strict-clean, not exempted"
+    )
+
+
+def test_strict_core_never_ratcheted():
+    for entry in _ratchet_entries():
+        bare = entry.rstrip(".*").rstrip(".")
+        for prefix in ALWAYS_STRICT_PREFIXES:
+            assert not bare.startswith(prefix), (
+                f"{entry} exempts {prefix}, which must stay strict-clean"
+            )
+
+
+def test_mypy_strict_passes():
+    pytest.importorskip("mypy", reason="mypy not installed (CI-only gate)")
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", str(MYPY_INI)],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"mypy --strict failed:\n{completed.stdout}\n{completed.stderr}"
+    )
