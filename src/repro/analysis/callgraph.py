@@ -1,0 +1,242 @@
+"""Project call graph and module import graph for xmvrlint.
+
+Builds the whole-program :class:`Project` model out of the per-file
+:class:`~repro.analysis.dataflow.FileSummary` facts: an index of every
+function by fully-qualified name, the import bindings of every module,
+and a resolved call graph.
+
+Call resolution is deliberately *optimistic*: a call site that cannot
+be resolved to a project function (builtins, stdlib, dynamic dispatch)
+simply produces no edge, and the downstream analyses treat the callee
+as effect-free.  The resolution ladder, in order:
+
+1. ``self.m()`` / ``cls.m()`` — method ``m`` of the caller's own class
+   (same module first, then any class of that name in the project).
+2. Bare ``f()`` — a function nested in the caller, then a module-level
+   function of the caller's module, then the caller's import bindings
+   (``from ..matching.evaluate import evaluate``).
+3. ``alias.f()`` where ``alias`` is an imported module — function ``f``
+   of that module.
+4. ``self.fragments.m()`` — a small table of attribute→class types for
+   the system's well-known collaborators (:data:`ATTR_CLASSES`).
+5. Unique-name fallback — a method name defined by exactly one class in
+   the whole project resolves to it.
+
+Layer ranks for rule L9 live here too (:func:`layer_of`): the package
+DAG ``xmltree → xpath → matching → storage → core → {analysis,
+workload} → bench``, with ``errors`` importable from everywhere and the
+top-level application shell (``cli``, ``__main__``) exempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from .dataflow import CallRef, FileSummary, FunctionSummary
+
+__all__ = [
+    "ATTR_CLASSES",
+    "LAYER_RANKS",
+    "Project",
+    "build_project",
+    "layer_of",
+]
+
+#: Known collaborator attributes of the answering system: the class a
+#: given attribute name holds, used to resolve ``self.<attr>.method()``
+#: call sites without full type inference.
+ATTR_CLASSES: dict[str, tuple[str, ...]] = {
+    "fragments": ("FragmentStore",),
+    "vfilter": ("VFilter",),
+    "_plan_cache": ("PlanCache",),
+    "_memo": ("CoverageMemo",),
+    "store": ("KVStore",),
+    "system": ("MaterializedViewSystem", "XMVRSystem"),
+    "document": ("EncodedDocument",),
+    "schema": ("DocumentSchema",),
+    "editor": ("DocumentEditor",),
+}
+
+#: Package layer ranks.  A module may import same-package modules and
+#: lower-ranked layers; importing a higher rank — or a *different*
+#: layer at the same rank — breaks the DAG.
+LAYER_RANKS: dict[str, int] = {
+    "errors": 0,
+    "xmltree": 1,
+    "xpath": 2,
+    "matching": 3,
+    "storage": 4,
+    "core": 5,
+    "analysis": 6,
+    "workload": 6,
+    "bench": 7,
+}
+
+#: Top-level application-shell modules exempt from L9: they wire every
+#: layer together by design.
+SHELL_MODULES = {"cli", "__main__"}
+
+
+def layer_of(module: str) -> tuple[str, int] | None:
+    """The (layer name, rank) of a dotted module path, or None when the
+    module is outside the layered packages (shell modules, the root
+    package itself, third-party imports)."""
+    for segment in module.split("."):
+        if segment in SHELL_MODULES:
+            return None
+        if segment in LAYER_RANKS:
+            return segment, LAYER_RANKS[segment]
+    return None
+
+
+@dataclass(slots=True)
+class Project:
+    """Whole-program facts: every file summary plus resolution indexes
+    and the resolved call graph."""
+
+    files: dict[str, FileSummary] = field(default_factory=dict)
+    #: fully-qualified name ("module:qualname") → summary
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    #: fqname → module dotted name (for reverse lookups)
+    module_of: dict[str, str] = field(default_factory=dict)
+    #: module → {local name: absolute dotted import target}
+    imports_of: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: (classname, method name) → fqnames defining it
+    class_methods: dict[tuple[str, str], list[str]] = field(default_factory=dict)
+    #: method name → fqnames (any class)
+    by_method: dict[str, list[str]] = field(default_factory=dict)
+    #: resolved call graph: caller fqname → ((call site, callee fqname), ...)
+    call_edges: dict[str, list[tuple[CallRef, str]]] = field(default_factory=dict)
+
+    # -- lookups ---------------------------------------------------------
+    def modules(self) -> set[str]:
+        return {summary.module for summary in self.files.values()}
+
+    def function(self, fqname: str) -> FunctionSummary | None:
+        return self.functions.get(fqname)
+
+    def callees(self, fqname: str) -> list[tuple[CallRef, str]]:
+        return self.call_edges.get(fqname, [])
+
+    def adjacency(self) -> dict[str, list[str]]:
+        """Caller → callee fqnames, for the generic graph helpers."""
+        return {
+            caller: [callee for _, callee in edges]
+            for caller, edges in self.call_edges.items()
+        }
+
+    def iter_functions(self) -> Iterator[tuple[str, FunctionSummary]]:
+        return iter(self.functions.items())
+
+    # -- resolution ------------------------------------------------------
+    def resolve(self, caller_fq: str, call: CallRef) -> str | None:
+        """Resolve one call site to a project function, or None."""
+        chain = call.chain
+        if chain == ("<dynamic>",):
+            return None
+        module = self.module_of.get(caller_fq, "")
+        caller = self.functions.get(caller_fq)
+        # 1. self.m() / cls.m(): the caller's own class.
+        if len(chain) == 2 and chain[0] in ("self", "cls"):
+            if caller is not None and caller.classname is not None:
+                found = self._method_on(caller.classname, chain[1], module)
+                if found is not None:
+                    return found
+            return self._unique_method(chain[1])
+        # 2. bare f(): nested, module-level, then imports.
+        if len(chain) == 1:
+            name = chain[0]
+            if caller is not None:
+                for nested in caller.nested:
+                    if nested.name == name:
+                        return f"{module}:{nested.qualname}"
+            local = f"{module}:{name}"
+            if local in self.functions:
+                return local
+            target = self.imports_of.get(module, {}).get(name)
+            if target is not None:
+                return self._function_at(target)
+            return None
+        # 3. alias.f() through an imported module.
+        root = chain[0]
+        target = self.imports_of.get(module, {}).get(root)
+        if target is not None:
+            dotted = ".".join((target,) + chain[1:])
+            found = self._function_at(dotted)
+            if found is not None:
+                return found
+        # 4. known collaborator attributes: self.fragments.m() etc.
+        holder = chain[-2]
+        for classname in ATTR_CLASSES.get(holder, ()):
+            found = self._method_on(classname, chain[-1], module)
+            if found is not None:
+                return found
+        # 5. unique method name anywhere in the project.
+        return self._unique_method(chain[-1])
+
+    def _method_on(
+        self, classname: str, method: str, prefer_module: str
+    ) -> str | None:
+        candidates = self.class_methods.get((classname, method), [])
+        if not candidates:
+            return None
+        for fqname in candidates:
+            if self.module_of.get(fqname) == prefer_module:
+                return fqname
+        return candidates[0] if len(candidates) == 1 else None
+
+    def _unique_method(self, method: str) -> str | None:
+        candidates = self.by_method.get(method, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+    def _function_at(self, dotted: str) -> str | None:
+        """Resolve ``pkg.module.func`` to a project function by trying
+        every module/attribute split from the right."""
+        head, _, tail = dotted.rpartition(".")
+        while head:
+            fqname = f"{head}:{tail}"
+            if fqname in self.functions:
+                return fqname
+            nxt_head, _, nxt = head.rpartition(".")
+            tail = f"{nxt}.{tail}" if nxt else tail
+            head = nxt_head
+        return None
+
+
+def _index_functions(
+    project: Project, summary: FileSummary, function: FunctionSummary
+) -> None:
+    fqname = f"{summary.module}:{function.qualname}"
+    project.functions[fqname] = function
+    project.module_of[fqname] = summary.module
+    if function.classname is not None and "<locals>" not in function.qualname:
+        project.class_methods.setdefault(
+            (function.classname, function.name), []
+        ).append(fqname)
+        project.by_method.setdefault(function.name, []).append(fqname)
+    for nested in function.nested:
+        _index_functions(project, summary, nested)
+
+
+def build_project(summaries: Mapping[str, FileSummary]) -> Project:
+    """Assemble the project model and resolve every call site."""
+    project = Project()
+    for relpath in sorted(summaries):
+        summary = summaries[relpath]
+        project.files[relpath] = summary
+        project.imports_of[summary.module] = {
+            record.local: record.target for record in summary.imports
+        }
+        for function in summary.functions:
+            _index_functions(project, summary, function)
+    for fqname, function in project.functions.items():
+        edges: list[tuple[CallRef, str]] = []
+        for step in function.iter_steps():
+            for call in step.calls:
+                callee = project.resolve(fqname, call)
+                if callee is not None and callee != fqname:
+                    edges.append((call, callee))
+        if edges:
+            project.call_edges[fqname] = edges
+    return project

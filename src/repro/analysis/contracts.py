@@ -1,48 +1,22 @@
-"""Opt-in runtime contract checks for the answering pipeline.
+"""Compatibility shim: the runtime contract checks moved to
+:mod:`repro.core.contracts`.
 
-Each check asserts an invariant the paper proves or the design relies
-on, re-deriving the property from first principles (bypassing the
-coverage memo and the plan cache) so that a bug in the cached fast path
-cannot hide itself:
-
-* :func:`check_document_order` — answer code sequences are strictly
-  document-ordered (extended Dewey codes order lexicographically by
-  document position; a duplicate or inversion means a join bug).
-* :func:`check_selection_covers` — a selected view set's leaf-cover
-  union equals ``LF(Q)`` exactly and some unit provides ``Δ``
-  (paper Section IV-A criterion).
-* :func:`check_vfilter_sound` — every materialized view VFILTER
-  dropped has *no* coverage unit for the query, i.e. filtering never
-  discards a usable view (the paper's filtering soundness lemma).
-* :func:`check_plan_consistency` — a cache-served plan structurally
-  equals a freshly derived one: same selected view ids and the same
-  answer codes (or, for cached negatives, a fresh derivation also
-  fails).  Catches stale cache entries that survived a missing
-  ``_invalidate_plans()`` call.
-
-The layer is **off by default**: every hook tests :func:`enabled`,
-which reads ``XMVR_CHECK`` per call, so production pays one dict
-lookup per site.  ``tests/conftest.py`` turns it on for the whole
-suite.  Plan consistency re-runs filtering, selection and rewriting,
-so warm answers only re-derive every ``XMVR_CHECK_SAMPLE``-th hit
-(default 8, deterministic — no wall clock or randomness, per lint
-rule L4).
+The checks guard the answering pipeline and are imported by
+``core/system.py``; keeping them in the analysis layer forced core to
+import upward across the layer DAG (xmvrlint L9).  The analysis layer
+re-exports them here so existing ``repro.analysis.contracts`` imports
+keep working.
 """
 
-from __future__ import annotations
-
-import os
-from typing import TYPE_CHECKING, Iterable, Sequence
-
-from ..errors import ReproError
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..xmltree.dewey import DeweyCode
-    from ..xpath.pattern import TreePattern
-    from ..core.plancache import PlanEntry
-    from ..core.selection import Selection
-    from ..core.system import MaterializedViewSystem
-    from ..core.vfilter import FilterResult
+from ..core.contracts import (
+    ContractViolation,
+    check_document_order,
+    check_plan_consistency,
+    check_selection_covers,
+    check_vfilter_sound,
+    enabled,
+    sample_every,
+)
 
 __all__ = [
     "ContractViolation",
@@ -53,165 +27,3 @@ __all__ = [
     "check_vfilter_sound",
     "check_plan_consistency",
 ]
-
-
-class ContractViolation(ReproError):
-    """An internal invariant failed under ``XMVR_CHECK=1``.
-
-    Always a library bug, never a caller error: the offending state is
-    described in the message so the failing invariant can be replayed.
-    """
-
-
-def enabled() -> bool:
-    """Whether contract checking is on (``XMVR_CHECK=1``).
-
-    Read from the environment on every call so tests can flip it
-    per-case; the lookup is one dict probe.
-    """
-    return os.environ.get("XMVR_CHECK") == "1"
-
-
-def sample_every() -> int:
-    """Check every Nth warm plan-cache hit (``XMVR_CHECK_SAMPLE``)."""
-    raw = os.environ.get("XMVR_CHECK_SAMPLE", "8")
-    try:
-        value = int(raw)
-    except ValueError:
-        return 8
-    return max(1, value)
-
-
-# ----------------------------------------------------------------------
-# individual contracts
-# ----------------------------------------------------------------------
-def check_document_order(
-    codes: Sequence["DeweyCode"], context: str
-) -> None:
-    """Answer codes must be strictly increasing (document order,
-    no duplicates)."""
-    for index in range(1, len(codes)):
-        if not codes[index - 1] < codes[index]:
-            raise ContractViolation(
-                f"{context}: answer codes not strictly document-ordered "
-                f"at position {index}: {codes[index - 1]!r} !< "
-                f"{codes[index]!r}"
-            )
-
-
-def check_selection_covers(
-    selection: "Selection", pattern: "TreePattern", context: str
-) -> None:
-    """The selected set's coverage union must equal ``LF(Q)`` with a
-    Δ provider — recomputed from the raw patterns, not the memo."""
-    from ..core.leaf_cover import coverage_units, obligations_of
-
-    needed = obligations_of(pattern)
-    covered: set = set()
-    has_delta = False
-    for view in selection.views:
-        for unit in coverage_units(view, pattern):
-            covered.update(unit.covered)
-            has_delta = has_delta or unit.provides_delta
-    missing = needed - covered
-    if missing:
-        labels = sorted(str(obligation) for obligation in missing)
-        raise ContractViolation(
-            f"{context}: selection {selection.view_ids} does not cover "
-            f"LF(Q); missing obligations {labels}"
-        )
-    if not has_delta:
-        raise ContractViolation(
-            f"{context}: selection {selection.view_ids} has no Δ provider"
-        )
-
-
-def check_vfilter_sound(
-    pattern: "TreePattern",
-    filter_result: "FilterResult",
-    views: Iterable,
-    context: str,
-) -> None:
-    """Every materialized view VFILTER dropped must be genuinely
-    unusable: no coverage unit for the query (the filtering lemma)."""
-    from ..core.leaf_cover import coverage_units
-
-    candidates = set(filter_result.candidates)
-    for view in views:
-        if view.view_id in candidates:
-            continue
-        units = coverage_units(view, pattern)
-        if units:
-            raise ContractViolation(
-                f"{context}: VFILTER dropped view {view.view_id!r} which "
-                f"has {len(units)} usable coverage unit(s) for the query"
-            )
-
-
-def check_plan_consistency(
-    system: "MaterializedViewSystem",
-    entry: "PlanEntry",
-    strategy: str,
-    context: str,
-) -> None:
-    """A cache-served plan must structurally match a fresh derivation.
-
-    Re-runs filtering + selection without the coverage memo and, for
-    positive plans, a fresh rewrite without the plan cache; compares
-    selected view ids and answer codes.  A mismatch means the cache
-    held a plan for a different view pool or document state — i.e. an
-    ``_invalidate_plans()`` call was missed somewhere.
-    """
-    from ..core.rewrite import rewrite
-    from ..errors import ViewNotAnswerableError
-
-    try:
-        _, fresh_selection = system._derive_selection(
-            entry.pattern, strategy, units_fn=None
-        )
-    except ViewNotAnswerableError as fresh_error:
-        if entry.error is None:
-            raise ContractViolation(
-                f"{context}: cached plan selects {entry.selection.view_ids}"
-                f" but a fresh derivation fails ({fresh_error}); stale "
-                f"positive plan entry"
-            ) from fresh_error
-        return
-    if entry.error is not None:
-        raise ContractViolation(
-            f"{context}: cached plan replays ViewNotAnswerableError but a "
-            f"fresh derivation selects {fresh_selection.view_ids}; stale "
-            f"negative plan entry"
-        )
-
-    assert entry.selection is not None
-    cached_ids = sorted(entry.selection.view_ids)
-    fresh_ids = sorted(fresh_selection.view_ids)
-    if cached_ids != fresh_ids:
-        raise ContractViolation(
-            f"{context}: cached plan selects {cached_ids} but a fresh "
-            f"derivation selects {fresh_ids}; stale plan entry"
-        )
-
-    fresh_result = rewrite(
-        fresh_selection,
-        entry.pattern,
-        system.fragments,
-        system.document.schema,
-        system.document.fst,
-    )
-    cached_result = entry.result
-    if cached_result is None:
-        cached_result = rewrite(
-            entry.selection,
-            entry.pattern,
-            system.fragments,
-            system.document.schema,
-            system.document.fst,
-        )
-    if list(cached_result.codes) != list(fresh_result.codes):
-        raise ContractViolation(
-            f"{context}: cached plan yields {len(cached_result.codes)} "
-            f"answer code(s) but a fresh rewrite yields "
-            f"{len(fresh_result.codes)}; stale plan entry"
-        )

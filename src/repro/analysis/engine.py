@@ -25,13 +25,19 @@ error (unreadable/unparsable file, unknown rule id).
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import json
+import pickle
 import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
+
+from .callgraph import Project, build_project
+from .dataflow import FileSummary, summarize_module
+from .effects import ProgramFacts, analyze
 
 __all__ = [
     "EXIT_CLEAN",
@@ -40,18 +46,29 @@ __all__ = [
     "Violation",
     "FileContext",
     "Rule",
+    "ProjectRule",
+    "ProjectContext",
     "LintError",
     "register",
     "all_rules",
     "lint_paths",
     "render_human",
     "render_json",
+    "render_sarif",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "baseline_counts",
     "apply_return_none_fixes",
 ]
 
 EXIT_CLEAN = 0
 EXIT_VIOLATIONS = 1
 EXIT_ERROR = 2
+
+#: Bump when the cached record layout or any analysis changes shape —
+#: stale cache entries are then simply misses.
+LINT_CACHE_VERSION = 1
 
 #: Fix tag understood by :func:`apply_return_none_fixes`.
 FIX_RETURN_NONE = "add-return-none"
@@ -200,6 +217,49 @@ class Rule:
         )
 
 
+@dataclass(slots=True)
+class ProjectContext:
+    """Whole-program facts shared by every project rule in one run.
+
+    The expensive fixpoints (:func:`repro.analysis.effects.analyze`)
+    run lazily and at most once per lint invocation, however many
+    project rules are active.
+    """
+
+    project: Project
+    relpath_by_module: dict[str, str] = field(default_factory=dict)
+    _facts: ProgramFacts | None = None
+
+    @property
+    def facts(self) -> ProgramFacts:
+        if self._facts is None:
+            self._facts = analyze(self.project)
+        return self._facts
+
+    def location_of(self, fqname: str) -> tuple[str, int]:
+        """(relpath, lineno) of a function's definition."""
+        module = fqname.split(":", 1)[0]
+        relpath = self.relpath_by_module.get(module, module)
+        function = self.project.functions.get(fqname)
+        return relpath, function.lineno if function is not None else 1
+
+
+class ProjectRule(Rule):
+    """Base for rules that need the whole program, not one file.
+
+    Subclasses implement :meth:`check_project`; the per-file
+    :meth:`Rule.check` is intentionally inert.  Violations are still
+    attributed to (file, line), so line suppressions and ``disable-file``
+    pragmas work exactly as they do for per-file rules.
+    """
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
 
 
@@ -213,9 +273,38 @@ def register(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
+_RANGE = re.compile(r"^([A-Za-z]+)(\d+)-(?:([A-Za-z]+))?(\d+)$")
+
+
+def _expand_selection(items: Iterable[str]) -> list[str]:
+    """Expand ``L1-L9``-style ranges; plain ids pass through."""
+    expanded: list[str] = []
+    for raw in items:
+        item = raw.strip().upper()
+        if not item:
+            continue
+        match = _RANGE.match(item)
+        if match is None:
+            expanded.append(item)
+            continue
+        prefix, low, end_prefix, high = match.groups()
+        if end_prefix is not None and end_prefix != prefix:
+            raise LintError(
+                f"bad rule range {raw!r}: prefixes {prefix} and "
+                f"{end_prefix} differ"
+            )
+        if int(low) > int(high):
+            raise LintError(f"bad rule range {raw!r}: empty")
+        expanded.extend(
+            f"{prefix}{number}" for number in range(int(low), int(high) + 1)
+        )
+    return expanded
+
+
 def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
     """Instantiate registered rules, optionally restricted to ids in
-    ``select``.  Unknown ids raise :class:`LintError` (exit code 2)."""
+    ``select`` (plain ids or ``L1-L9`` ranges).  Unknown ids raise
+    :class:`LintError` (exit code 2)."""
     # Rules live in a sibling module; importing it populates the
     # registry exactly once.
     from . import rules as _rules  # noqa: F401
@@ -223,7 +312,7 @@ def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
     if select is None:
         wanted = sorted(_REGISTRY)
     else:
-        wanted = [item.strip().upper() for item in select if item.strip()]
+        wanted = _expand_selection(select)
         unknown = [item for item in wanted if item not in _REGISTRY]
         if unknown:
             raise LintError(
@@ -254,27 +343,233 @@ def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
     return unique
 
 
+# ----------------------------------------------------------------------
+# per-file fact cache
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class _FileFacts:
+    """Everything the engine needs about one file, cacheable on disk.
+
+    ``violations`` holds *pre-suppression* hits for every registered
+    per-file rule, so one record serves any ``--select`` subset; a
+    suppression edit changes the content hash, so stale suppression
+    state cannot be served.  The :class:`FileSummary` carries the
+    whole-program IR — on a warm run the project pass needs no AST.
+    """
+
+    version: int
+    relpath: str
+    rule_ids: tuple[str, ...]
+    violations: dict[str, tuple[Violation, ...]]
+    line_suppressions: dict[int, set[str]]
+    file_suppressions: set[str]
+    summary: FileSummary
+
+
+def _cache_key(relpath: str, payload: bytes) -> str:
+    digest = hashlib.sha256()
+    digest.update(f"xmvrlint:{LINT_CACHE_VERSION}:{relpath}:".encode())
+    digest.update(payload)
+    return digest.hexdigest()
+
+
+def _cache_load(cache_dir: Path, key: str) -> _FileFacts | None:
+    record_path = cache_dir / f"{key}.pkl"
+    try:
+        with open(record_path, "rb") as handle:
+            record = pickle.load(handle)
+    except (OSError, pickle.PickleError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+    if (
+        isinstance(record, _FileFacts)
+        and record.version == LINT_CACHE_VERSION
+    ):
+        return record
+    return None
+
+
+def _cache_store(cache_dir: Path, key: str, record: _FileFacts) -> None:
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp_path = cache_dir / f"{key}.tmp"
+        tmp_path.write_bytes(payload)
+        tmp_path.replace(cache_dir / f"{key}.pkl")
+    except OSError:
+        # A read-only or full cache directory degrades to cold linting.
+        pass
+
+
+def _compute_file_facts(path: Path, root: Path) -> _FileFacts:
+    """Cold path: parse, run every registered per-file rule, lower to
+    the IR."""
+    context = FileContext.load(path, root=root)
+    file_rules = [
+        rule for rule in all_rules() if not isinstance(rule, ProjectRule)
+    ]
+    violations: dict[str, tuple[Violation, ...]] = {}
+    for rule in file_rules:
+        if rule.applies_to(context):
+            violations[rule.rule_id] = tuple(rule.check(context))
+    return _FileFacts(
+        version=LINT_CACHE_VERSION,
+        relpath=context.relpath,
+        rule_ids=tuple(rule.rule_id for rule in file_rules),
+        violations=violations,
+        line_suppressions=context.line_suppressions,
+        file_suppressions=context.file_suppressions,
+        summary=summarize_module(context.tree, context.relpath),
+    )
+
+
+def _file_facts(
+    path: Path, root: Path, cache_dir: Path | None
+) -> _FileFacts:
+    if cache_dir is None:
+        return _compute_file_facts(path, root)
+    try:
+        payload = path.read_bytes()
+    except OSError as error:
+        raise LintError(f"{path}: cannot read: {error}") from error
+    try:
+        relpath = str(path.relative_to(root))
+    except ValueError:
+        relpath = str(path)
+    relpath = Path(relpath).as_posix()
+    key = _cache_key(relpath, payload)
+    cached = _cache_load(cache_dir, key)
+    registered = {
+        rule.rule_id
+        for rule in all_rules()
+        if not isinstance(rule, ProjectRule)
+    }
+    if cached is not None and registered <= set(cached.rule_ids):
+        return cached
+    record = _compute_file_facts(path, root)
+    _cache_store(cache_dir, key, record)
+    return record
+
+
+def _suppressed(facts: _FileFacts, line: int, rule_id: str) -> bool:
+    if "*" in facts.file_suppressions or rule_id in facts.file_suppressions:
+        return True
+    active = facts.line_suppressions.get(line, ())
+    return "*" in active or rule_id in active
+
+
 def lint_paths(
     paths: Sequence[str | Path],
     rules: Sequence[Rule] | None = None,
     root: Path | None = None,
+    cache_dir: Path | None = None,
 ) -> list[Violation]:
     """Lint every ``*.py`` under ``paths``; returns surviving violations
-    (suppressed ones are dropped here)."""
+    (suppressed ones are dropped here).
+
+    With ``cache_dir`` set, per-file facts (rule hits, suppressions and
+    the whole-program IR) are cached keyed on a content hash — a warm
+    re-lint of an unchanged tree re-parses nothing and only re-runs the
+    cheap project fixpoints.
+    """
     active = list(rules) if rules is not None else all_rules()
     if root is None:
         root = Path.cwd()
+    selected = {rule.rule_id for rule in active}
+    project_rules = [rule for rule in active if isinstance(rule, ProjectRule)]
     found: list[Violation] = []
+    records: dict[str, _FileFacts] = {}
     for path in iter_python_files(paths):
-        context = FileContext.load(path, root=root)
-        for rule in active:
-            if not rule.applies_to(context):
+        facts = _file_facts(path, root, cache_dir)
+        records[facts.relpath] = facts
+        for rule_id, hits in facts.violations.items():
+            if rule_id not in selected:
                 continue
-            for violation in rule.check(context):
-                if not context.suppressed(violation.line, violation.rule):
+            for violation in hits:
+                if not _suppressed(facts, violation.line, violation.rule):
                     found.append(violation)
+    if project_rules and records:
+        summaries = {
+            relpath: facts.summary for relpath, facts in records.items()
+        }
+        project = build_project(summaries)
+        pctx = ProjectContext(
+            project=project,
+            relpath_by_module={
+                facts.summary.module: relpath
+                for relpath, facts in records.items()
+            },
+        )
+        for rule in project_rules:
+            for violation in rule.check_project(pctx):
+                facts_for = records.get(violation.path)
+                if facts_for is not None and _suppressed(
+                    facts_for, violation.line, violation.rule
+                ):
+                    continue
+                found.append(violation)
     found.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
     return found
+
+
+# ----------------------------------------------------------------------
+# baseline ratchet
+# ----------------------------------------------------------------------
+def baseline_counts(violations: Sequence[Violation]) -> dict[str, int]:
+    """Violations aggregated to ``"path::rule" -> count`` keys (line
+    numbers deliberately excluded so unrelated edits don't churn the
+    baseline)."""
+    counts: dict[str, int] = {}
+    for violation in violations:
+        key = f"{violation.path}::{violation.rule}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise LintError(f"{path}: cannot read baseline: {error}") from error
+    except ValueError as error:
+        raise LintError(f"{path}: bad baseline JSON: {error}") from error
+    counts = payload.get("counts") if isinstance(payload, dict) else None
+    if not isinstance(counts, dict) or not all(
+        isinstance(value, int) for value in counts.values()
+    ):
+        raise LintError(f"{path}: bad baseline: expected {{'counts': ...}}")
+    return dict(counts)
+
+
+def write_baseline(violations: Sequence[Violation], path: Path) -> None:
+    payload = {
+        "comment": (
+            "xmvrlint baseline: known violations tolerated by --baseline; "
+            "the ratchet only shrinks — fix a violation, then regenerate "
+            "with --write-baseline"
+        ),
+        "counts": baseline_counts(violations),
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: dict[str, int]
+) -> list[Violation]:
+    """Drop up to ``baseline[path::rule]`` violations per key — the
+    mypy-style ratchet that lets a new rule land without a flag day."""
+    budget = dict(baseline)
+    surviving: list[Violation] = []
+    for violation in violations:
+        key = f"{violation.path}::{violation.rule}"
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            surviving.append(violation)
+    return surviving
 
 
 # ----------------------------------------------------------------------
@@ -300,6 +595,67 @@ def render_json(violations: Sequence[Violation]) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+def render_sarif(
+    violations: Sequence[Violation],
+    rules: Sequence[Rule] | None = None,
+) -> str:
+    """SARIF 2.1.0, the format GitHub code scanning ingests for inline
+    PR annotations."""
+    if rules is None:
+        rules = all_rules()
+    rule_objects = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule in sorted(rules, key=lambda rule: rule.rule_id)
+    ]
+    results = [
+        {
+            "ruleId": violation.rule,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in violations
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "xmvrlint",
+                        "informationUri": (
+                            "https://example.invalid/xmvrlint"
+                        ),
+                        "rules": rule_objects,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 # ----------------------------------------------------------------------

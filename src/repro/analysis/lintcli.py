@@ -10,7 +10,9 @@ and honor the same exit-code contract (0 clean / 1 violations /
 from __future__ import annotations
 
 import argparse
+import re
 import sys
+from pathlib import Path
 
 from .engine import (
     EXIT_CLEAN,
@@ -18,13 +20,17 @@ from .engine import (
     EXIT_VIOLATIONS,
     LintError,
     all_rules,
+    apply_baseline,
     apply_return_none_fixes,
     lint_paths,
+    load_baseline,
     render_human,
     render_json,
+    render_sarif,
+    write_baseline,
 )
 
-__all__ = ["add_lint_arguments", "run_lint", "main"]
+__all__ = ["add_lint_arguments", "run_lint", "explain_rule", "main"]
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -37,14 +43,17 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format (default: human)",
     )
     parser.add_argument(
         "--select",
+        "--rules",
+        dest="select",
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids or ranges to run, e.g. "
+        "'L1,L4' or 'L1-L9' (default: all)",
     )
     parser.add_argument(
         "--fix",
@@ -56,11 +65,87 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print the DESIGN.md invariant entry for a rule id and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        type=Path,
+        help="tolerate the violations recorded in this baseline file "
+        "(mypy-style ratchet; regenerate with --write-baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        type=Path,
+        help="write the current violations to a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        type=Path,
+        help="per-file fact cache directory "
+        "(default: .xmvrlint-cache in the current directory)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-file fact cache",
+    )
+
+
+def _design_path() -> Path | None:
+    """DESIGN.md, looked up from the repo the linted tree lives in."""
+    for candidate in (Path.cwd(), *Path.cwd().parents):
+        probe = candidate / "DESIGN.md"
+        if probe.is_file():
+            return probe
+    return None
+
+
+def explain_rule(rule_id: str) -> str:
+    """The DESIGN.md §10 invariant entry for ``rule_id``.
+
+    Entries are the ``**Lk — title.** body`` bold paragraphs of the
+    invariant catalog; falls back to the rule's one-line summary when
+    DESIGN.md is not found.  Unknown ids raise :class:`LintError`.
+    """
+    wanted = rule_id.strip().upper()
+    by_id = {rule.rule_id: rule for rule in all_rules()}
+    if wanted not in by_id:
+        raise LintError(
+            f"unknown rule id {rule_id!r}; known: {', '.join(sorted(by_id))}"
+        )
+    design = _design_path()
+    if design is not None:
+        text = design.read_text(encoding="utf-8")
+        pattern = re.compile(
+            rf"^\*\*{re.escape(wanted)}\s.*?(?=^\*\*[A-Z]+\d+\s|^#|\Z)",
+            re.MULTILINE | re.DOTALL,
+        )
+        match = pattern.search(text)
+        if match is not None:
+            return match.group(0).rstrip()
+    return f"{wanted}: {by_id[wanted].summary}"
+
+
+def _cache_dir(arguments: argparse.Namespace) -> Path | None:
+    if arguments.no_cache:
+        return None
+    if arguments.cache_dir is not None:
+        return arguments.cache_dir
+    return Path(".xmvrlint-cache")
 
 
 def run_lint(arguments: argparse.Namespace) -> int:
     """Execute a lint run described by parsed arguments."""
     try:
+        if arguments.explain:
+            print(explain_rule(arguments.explain))
+            return EXIT_CLEAN
         select = (
             arguments.select.split(",") if arguments.select else None
         )
@@ -69,17 +154,34 @@ def run_lint(arguments: argparse.Namespace) -> int:
             for rule in rules:
                 print(f"{rule.rule_id}: {rule.summary}")
             return EXIT_CLEAN
-        violations = lint_paths(arguments.paths, rules)
+        cache_dir = _cache_dir(arguments)
+        violations = lint_paths(arguments.paths, rules, cache_dir=cache_dir)
         if arguments.fix:
             fixed = apply_return_none_fixes(violations)
             if fixed:
                 print(f"xmvrlint: fixed {fixed} signature(s)", file=sys.stderr)
-                violations = lint_paths(arguments.paths, rules)
+                violations = lint_paths(
+                    arguments.paths, rules, cache_dir=cache_dir
+                )
+        if arguments.write_baseline is not None:
+            write_baseline(violations, arguments.write_baseline)
+            print(
+                f"xmvrlint: wrote baseline for {len(violations)} "
+                f"violation(s) to {arguments.write_baseline}",
+                file=sys.stderr,
+            )
+            return EXIT_CLEAN
+        if arguments.baseline is not None:
+            violations = apply_baseline(
+                violations, load_baseline(arguments.baseline)
+            )
     except LintError as error:
         print(f"xmvrlint: error: {error}", file=sys.stderr)
         return EXIT_ERROR
     if arguments.format == "json":
         print(render_json(violations))
+    elif arguments.format == "sarif":
+        print(render_sarif(violations, rules))
     else:
         print(render_human(violations))
     return EXIT_VIOLATIONS if violations else EXIT_CLEAN
@@ -89,7 +191,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="xmvrlint",
         description="Project-invariant static analysis for the XMVR "
-                    "reproduction (rules L1-L5; see DESIGN.md §10)",
+                    "reproduction (rules L1-L9; see DESIGN.md §10)",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

@@ -1,10 +1,17 @@
-"""The xmvrlint rule set (L1–L5).
+"""The xmvrlint rule set (L1–L9).
 
 Each rule encodes one repo-specific invariant that PR 1's caching layer
 turned load-bearing; DESIGN.md §10 ties every rule to the mechanism it
 protects.  The rules are intentionally conservative approximations —
 they must never miss the failure mode they exist for, and the
 suppression pragma exists for the rare justified exception.
+
+L1–L5 are per-file AST rules.  L6–L9 are *whole-program* rules built on
+the call graph (:mod:`repro.analysis.callgraph`) and the effect /
+invalidation fixpoints (:mod:`repro.analysis.effects`): L6 generalizes
+L1 interprocedurally, L7 checks exception safety of mutation windows,
+L8 checks purity of everything feeding a cache key, and L9 enforces the
+package layering DAG.
 """
 
 from __future__ import annotations
@@ -12,7 +19,18 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from .engine import FIX_RETURN_NONE, FileContext, Rule, Violation, register
+from .callgraph import LAYER_RANKS, layer_of
+from .dataflow import CallRef, fresh_locals
+from .effects import _call_clock, _call_io, classify
+from .engine import (
+    FIX_RETURN_NONE,
+    FileContext,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    Violation,
+    register,
+)
 
 __all__ = [
     "InvalidatePlansRule",
@@ -20,6 +38,10 @@ __all__ = [
     "IdKeyEscapeRule",
     "WallClockRule",
     "PublicAnnotationsRule",
+    "InterproceduralInvalidateRule",
+    "ExceptionSafetyRule",
+    "CacheKeyPurityRule",
+    "ImportLayeringRule",
 ]
 
 
@@ -98,8 +120,14 @@ _L1_SEED = "_invalidate_plans"
 _L1_EXEMPT = {"__init__", _L1_SEED}
 
 
-def _l1_is_mutation(node: ast.AST) -> bool:
-    """Does this single AST node write view/fragment/document state?"""
+def _l1_is_mutation(node: ast.AST, fresh: frozenset[str]) -> bool:
+    """Does this single AST node write view/fragment/document state?
+
+    Writes and calls whose receiver chain is rooted in a *fresh* local
+    (see :func:`repro.analysis.dataflow.fresh_locals`) are exempt: an
+    object constructed inside the function has an empty plan cache, so
+    mutating it cannot stale anything that predates the call.
+    """
     targets: list[ast.expr] = []
     if isinstance(node, ast.Assign):
         targets = list(node.targets)
@@ -111,6 +139,8 @@ def _l1_is_mutation(node: ast.AST) -> bool:
             probe = probe.value
         if isinstance(probe, ast.Attribute):
             base = _attr_chain(probe.value)
+            if base is not None and base[0] in fresh:
+                continue
             if base in _L1_SYSTEM and probe.attr in _L1_STATE_ATTRS:
                 return True
             if base in _L1_DOCUMENT and probe.attr in _L1_DOCUMENT_ATTRS:
@@ -118,9 +148,11 @@ def _l1_is_mutation(node: ast.AST) -> bool:
     if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
         method = node.func.attr
         receiver = node.func.value
+        chain = _attr_chain(receiver)
+        if chain is not None and chain[0] in fresh:
+            return False
         if method in _L1_ANY_RECEIVER_METHODS:
             return True
-        chain = _attr_chain(receiver)
         if chain is not None:
             if method in _L1_DOCUMENT_METHODS and chain in _L1_DOCUMENT:
                 return True
@@ -136,7 +168,10 @@ def _l1_is_mutation(node: ast.AST) -> bool:
 
 
 def _l1_mutations(function: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.AST]:
-    return [node for node in _own_nodes(function) if _l1_is_mutation(node)]
+    fresh = frozenset(fresh_locals(function))
+    return [
+        node for node in _own_nodes(function) if _l1_is_mutation(node, fresh)
+    ]
 
 
 def _l1_calls_guaranteed(node: ast.AST, guaranteed: set[str]) -> bool:
@@ -651,3 +686,235 @@ class PublicAnnotationsRule(Rule):
                         else None
                     ),
                 )
+
+
+# ======================================================================
+# L6 — interprocedural invalidation (whole-program L1)
+# ======================================================================
+@register
+class InterproceduralInvalidateRule(ProjectRule):
+    """L6: a state mutation *anywhere in the call graph* of a public
+    system/editor/maintenance entry point must be covered by a call
+    path that guarantees ``_invalidate_plans()`` — the interprocedural
+    generalization of L1, which only sees same-class helpers."""
+
+    rule_id = "L6"
+    summary = (
+        "public entry points of the answering system, document editor "
+        "or maintenance modules whose call graph mutates answering "
+        "state must guarantee _invalidate_plans() on every normal exit"
+    )
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[Violation]:
+        facts = pctx.facts
+        for fqname, function in facts.entry_points():
+            if fqname not in facts.mutates_answering:
+                continue
+            if fqname in facts.guaranteed:
+                continue
+            path = facts.mutation_witness(fqname)
+            via = f" (via {' -> '.join(path)})" if path else ""
+            owner = (
+                f"{function.classname}." if function.classname else ""
+            )
+            relpath, lineno = pctx.location_of(fqname)
+            yield Violation(
+                rule=self.rule_id,
+                path=relpath,
+                line=lineno,
+                column=0,
+                message=(
+                    f"{owner}{function.name} mutates answering state"
+                    f"{via} but no call path guarantees "
+                    "_invalidate_plans() on every normal exit"
+                ),
+            )
+
+
+# ======================================================================
+# L7 — exception safety of mutation windows
+# ======================================================================
+@register
+class ExceptionSafetyRule(ProjectRule):
+    """L7: between the first answering-state write of an entry point
+    and its ``_invalidate_plans()``, no possibly-raising call may
+    execute — an escaping exception would leave the plan cache serving
+    plans derived from state that no longer exists."""
+
+    rule_id = "L7"
+    summary = (
+        "no possibly-raising call between an answering-state mutation "
+        "and _invalidate_plans(); the error path must not leave a "
+        "stale plan cache"
+    )
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[Violation]:
+        facts = pctx.facts
+        for fqname, function in facts.entry_points():
+            owner = (
+                f"{function.classname}." if function.classname else ""
+            )
+            relpath, _ = pctx.location_of(fqname)
+            for window in facts.windows(fqname):
+                yield Violation(
+                    rule=self.rule_id,
+                    path=relpath,
+                    line=window.lineno,
+                    column=0,
+                    message=(
+                        f"{owner}{function.name}: {window.reason} "
+                        "(stale plan cache on the error path)"
+                    ),
+                )
+
+
+# ======================================================================
+# L8 — purity of cache inputs
+# ======================================================================
+#: Attribute names holding the plan cache / coverage memo.
+_L8_CACHE_HOLDERS = {"_plan_cache", "plan_cache"}
+_L8_MEMO_HOLDERS = {"_memo", "memo"}
+
+
+def _l8_key_positions(call: CallRef) -> tuple[int, ...]:
+    """Positional arguments of this call that become cache keys (or
+    interned cache entries), per the PlanCache / CoverageMemo APIs."""
+    if len(call.chain) < 2:
+        return ()
+    holder = call.chain[-2]
+    if holder in _L8_CACHE_HOLDERS and call.name in ("get", "put"):
+        return (0,)
+    if holder in _L8_MEMO_HOLDERS:
+        if call.name == "intern":
+            return (0,)
+        if call.name == "units":
+            return (1,)
+    return ()
+
+
+@register
+class CacheKeyPurityRule(ProjectRule):
+    """L8: whatever produces a plan-cache key or CoverageMemo entry
+    must be inferred pure or reads-state — an impure producer (I/O,
+    mutation, wall clock) makes the key nondeterministic, so equal
+    queries stop hitting equal entries (generalizing L4)."""
+
+    rule_id = "L8"
+    summary = (
+        "values flowing into plancache keys or CoverageMemo entries "
+        "must come from pure/reads-state producers (no I/O, no "
+        "mutation, no wall clock)"
+    )
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[Violation]:
+        facts = pctx.facts
+        project = pctx.project
+        for fqname, function in project.iter_functions():
+            module = project.module_of.get(fqname, "")
+            imports = project.imports_of.get(module, {})
+            relpath = pctx.relpath_by_module.get(module, module)
+            # name -> producing callee chain; ambiguous rebinds drop out.
+            binds: dict[str, tuple[str, ...] | None] = {}
+            for step in function.iter_steps():
+                for name, chain in step.binds:
+                    binds[name] = (
+                        chain if binds.get(name, chain) == chain else None
+                    )
+            for step in function.iter_steps():
+                for call in step.calls:
+                    for position in _l8_key_positions(call):
+                        if position >= len(call.arg_chains):
+                            continue
+                        argument = call.arg_chains[position]
+                        if argument is None:
+                            continue
+                        if argument[0] == "<call>":
+                            producer = argument[1:]
+                        elif len(argument) == 1:
+                            producer = binds.get(argument[0]) or ()
+                        else:
+                            producer = ()
+                        if not producer:
+                            continue
+                        probe = CallRef(chain=producer, lineno=call.lineno)
+                        callee = project.resolve(fqname, probe)
+                        if callee is not None:
+                            effect = facts.effect_of(callee)
+                            if effect.cache_safe:
+                                continue
+                            detail = classify(effect)
+                        elif _call_io(probe, imports) or _call_clock(
+                            probe, imports
+                        ):
+                            detail = "I/O or wall clock"
+                        else:
+                            continue
+                        yield Violation(
+                            rule=self.rule_id,
+                            path=relpath,
+                            line=call.lineno,
+                            column=0,
+                            message=(
+                                f"cache input for "
+                                f"{'.'.join(call.chain)}() is produced "
+                                f"by '{'.'.join(producer)}()' which is "
+                                f"{detail}; cache inputs must be pure "
+                                "or reads-state"
+                            ),
+                        )
+
+
+# ======================================================================
+# L9 — import layering DAG
+# ======================================================================
+_L9_DAG = (
+    "xmltree -> xpath -> matching -> storage -> core -> "
+    "{analysis, workload} -> bench"
+)
+
+
+@register
+class ImportLayeringRule(ProjectRule):
+    """L9: imports must follow the layer DAG — no upward imports, no
+    imports between same-rank layers.  The application shell (``cli``,
+    ``__main__``) wires everything together and is exempt."""
+
+    rule_id = "L9"
+    summary = f"imports must follow the layer DAG {_L9_DAG}"
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[Violation]:
+        roots = {
+            summary.module.split(".")[0]
+            for summary in pctx.project.files.values()
+            if summary.module
+        }
+        for relpath in sorted(pctx.project.files):
+            summary = pctx.project.files[relpath]
+            source = layer_of(summary.module)
+            if source is None:
+                continue
+            for record in summary.imports:
+                segments = record.target.split(".")
+                internal = segments[0] in roots or any(
+                    segment in LAYER_RANKS for segment in segments
+                )
+                if not internal:
+                    continue
+                target = layer_of(record.target)
+                if target is None:
+                    continue
+                upward = target[1] > source[1]
+                sideways = target[1] == source[1] and target[0] != source[0]
+                if upward or sideways:
+                    yield Violation(
+                        rule=self.rule_id,
+                        path=relpath,
+                        line=record.lineno,
+                        column=0,
+                        message=(
+                            f"layer '{source[0]}' imports "
+                            f"{'higher' if upward else 'same-rank'} "
+                            f"layer '{target[0]}' ({record.target}); "
+                            f"the layer DAG is {_L9_DAG}"
+                        ),
+                    )

@@ -78,13 +78,19 @@ class DocumentEditor:
 
         schema_ok = self._schema_admits(parent, subtree)
         parent.add_child(subtree)
-        if schema_ok:
-            self._encode_new_subtree(parent, subtree)
+        try:
+            if schema_ok:
+                self._encode_new_subtree(parent, subtree)
+                self._invalidate_document()
+            else:
+                # New parent/child label pairs: the schema (and with it
+                # every code) must be rebuilt.
+                self._full_reencode()
+        except BaseException:
+            # The tree already holds the new subtree; cached plans and
+            # base-data indexes must not outlive a failed encode.
             self._invalidate_document()
-        else:
-            # New parent/child label pairs: the schema (and with it
-            # every code) must be rebuilt.
-            self._full_reencode()
+            raise
 
         changed_labels = {node.label for node in subtree.iter_subtree()}
         assert subtree.dewey is not None or not schema_ok
@@ -198,27 +204,37 @@ class DocumentEditor:
                 continue
             report.affected_views.append(view.view_id)
             system.fragments.drop(view.view_id)
-            answers = evaluate(view.pattern, system.document.tree)
-            fits = system.fragments.materialize(
-                view.view_id,
-                [(n.dewey, n) for n in answers if n.dewey is not None],
-            )
+            try:
+                answers = evaluate(view.pattern, system.document.tree)
+                fits = system.fragments.materialize(
+                    view.view_id,
+                    [(n.dewey, n) for n in answers if n.dewey is not None],
+                )
+            except BaseException:
+                # The fragments are already gone; a view left in the
+                # answerable pool would rewrite queries against nothing
+                # and return wrong (empty) answers.
+                self._evict_views([view.view_id])
+                raise
             if not fits:
                 capped.append(view.view_id)
         if capped:
             # Views that outgrew the cap leave the answerable pool; the
             # filter is rebuilt over the remaining ones.
-            system._materialized = [
-                view
-                for view in system._materialized
-                if view.view_id not in set(capped)
-            ]
-            fresh = VFilter(
-                attribute_pruning=system.vfilter.attribute_pruning
-            )
-            fresh.add_views(system._materialized)
-            system.vfilter = fresh
+            self._evict_views(capped)
         return report
+
+    def _evict_views(self, view_ids: list[str]) -> None:
+        """Remove views from the answerable pool and rebuild VFILTER."""
+        system = self.system
+        system._invalidate_plans()
+        gone = set(view_ids)
+        system._materialized = [
+            view for view in system._materialized if view.view_id not in gone
+        ]
+        fresh = VFilter(attribute_pruning=system.vfilter.attribute_pruning)
+        fresh.add_views(system._materialized)
+        system.vfilter = fresh
 
     def _view_touched(
         self,

@@ -29,7 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from ..analysis import contracts
+from . import contracts
 from ..errors import ViewNotAnswerableError
 from ..matching.evaluate import evaluate
 from ..storage.fragments import DEFAULT_FRAGMENT_CAP, FragmentStore
@@ -145,14 +145,21 @@ class MaterializedViewSystem:
         return self._admit_view(view, fits)
 
     def _admit_view(self, view: View, fits: bool) -> bool:
-        """Shared tail of serial and parallel registration: catalog the
-        view, persist its definition, extend VFILTER, drop stale plans."""
+        """Shared tail of serial and parallel registration: drop stale
+        plans, catalog the view, persist its definition, extend VFILTER.
+
+        Invalidation runs *first*: the plan cache only refills through
+        ``answer()``, so one drop covers every mutation of this call,
+        and an exception from persistence or VFILTER extension cannot
+        leave cached plans derived from the pre-registration state
+        (xmvrlint L7).
+        """
+        self._invalidate_plans()
         self._views[view.view_id] = view
         self._persist_definition(view)
         if fits:
             self._materialized.append(view)
             self.vfilter.add_view(view)
-        self._invalidate_plans()
         return fits
 
     def register_views(
@@ -213,6 +220,11 @@ class MaterializedViewSystem:
     def _admit_encoded(
         self, prepared: list[View], encoded: dict[str, list[bytes] | None]
     ) -> list[str]:
+        # Invalidate up front: one drop covers the whole batch (the
+        # cache refills only via answer()), and a failure mid-batch
+        # cannot leave plans derived from the pre-registration state
+        # (xmvrlint L1/L7).
+        self._invalidate_plans()
         registered: list[str] = []
         for view in prepared:
             fits = self.fragments.materialize_encoded(
@@ -221,10 +233,6 @@ class MaterializedViewSystem:
             if self._admit_view(view, fits):
                 registered.append(view.view_id)
         self._parallel_registered += len(prepared)
-        # _admit_view invalidates per admitted view, but that guarantee
-        # lives inside the loop; repeat it unconditionally so every path
-        # through this method drops stale plans (xmvrlint L1).
-        self._invalidate_plans()
         return registered
 
     # ------------------------------------------------------------------
@@ -239,7 +247,7 @@ class MaterializedViewSystem:
         self.fragments.store.put(key, encode_text(view.to_xpath()))
 
     @classmethod
-    def reopen(  # xmvrlint: disable=L1 -- fresh system: its plan cache starts empty
+    def reopen(
         cls,
         document: EncodedDocument,
         store: KVStore,

@@ -71,7 +71,7 @@ def _root_steps(node: PatternNode) -> list[tuple[Axis, str]]:
 class NodeIndex:
     """BN: label → nodes, built in one pass over the document."""
 
-    def __init__(self, tree: XMLTree):
+    def __init__(self, tree: XMLTree) -> None:
         self.tree = tree
         self._by_label: dict[str, list[XMLNode]] = {}
         self._total_nodes = 0
@@ -110,7 +110,7 @@ class NodeIndex:
 class FullPathIndex:
     """BF: concrete label-path → nodes (DataGuide-style full index)."""
 
-    def __init__(self, tree: XMLTree):
+    def __init__(self, tree: XMLTree) -> None:
         self.tree = tree
         self._by_path: dict[tuple[str, ...], list[XMLNode]] = {}
         # One pass, carrying the label path down the DFS.

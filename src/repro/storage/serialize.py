@@ -84,7 +84,7 @@ def encode_dewey(code: DeweyCode) -> bytes:
 
 def decode_dewey(buffer: bytes, offset: int) -> tuple[DeweyCode, int]:
     count, offset = decode_varint(buffer, offset)
-    components = []
+    components: list[int] = []
     for _ in range(count):
         component, offset = decode_varint(buffer, offset)
         components.append(component)

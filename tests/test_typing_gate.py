@@ -29,8 +29,6 @@ RATCHET_BASELINE = {
     "repro.xmltree.*",
     "repro.matching.*",
     "repro.workload.*",
-    "repro.storage.serialize",
-    "repro.storage.index",
     "repro.bench.*",
 }
 
