@@ -1,0 +1,214 @@
+"""Service throughput: worker-pool scaling under skewed vs uniform load.
+
+Drives the in-process serving stack (SnapshotEngine → QueryScheduler)
+with the closed-loop load generator from ``repro.service.loadgen`` —
+no HTTP in the measured path, so the numbers isolate the scheduler,
+request coalescing and the epoch-snapshot answer pipeline.
+
+The serving system runs **derivation-bound** (plan cache disabled):
+answers re-run filtering + selection + rewriting every time.  Cached
+hot-path latency is ``bench_hot_path.py``'s subject; this benchmark
+asks the orthogonal question — how much concurrent serving multiplies
+throughput when requests carry real CPU cost.  Python threads cannot
+parallelise that CPU (GIL), so any scaling beyond 1× is earned by the
+*service* layer itself:
+
+* **coalescing** — concurrent arrivals for the same query fold into
+  one flight whose single evaluation fans out to every waiter.  Long
+  flights absorb the most arrivals, so coalescing preferentially
+  cancels the *expensive* duplicates;
+* **pipelining** — waiters park on an event instead of holding the
+  request-response loop hostage.
+
+The query pool is the system's costliest view-definition queries,
+ordered by measured cost so that Zipf rank weight correlates with
+query weight — dashboard-style traffic where the heavy aggregate
+panels are also the most re-requested ones.
+
+Grid: worker threads × {skewed Zipf(1.1), uniform} mix.  The
+single-worker cell runs one closed-loop client (pure serial
+request-response — what an unthreaded server would achieve); an
+``N``-worker cell runs ``8×N`` clients so the admission queue stays
+warm.
+
+Run as a script (writes ``BENCH_service.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+
+Knobs: ``REPRO_BENCH_SCALE`` (default 1.0), ``REPRO_BENCH_SVC_VIEWS``
+(default 200), ``REPRO_BENCH_SVC_REQUESTS`` (default 2000 per cell).
+Under pytest a small configuration runs with correctness-oriented
+assertions (machine-dependent scaling numbers belong to the script
+run, which asserts the ≥3× acceptance bound).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.bench import build_environment
+from repro.core.system import MaterializedViewSystem
+from repro.service import (
+    InProcessClient,
+    QueryScheduler,
+    SnapshotEngine,
+    build_query_mix,
+    run_closed_loop,
+    zipf_weights,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
+
+ZIPF_EXPONENT = 1.1
+WORKER_GRID = (1, 4, 8)
+POOL_SIZE = 12
+CLIENTS_PER_WORKER = 8
+
+
+def build_serving_system(env) -> MaterializedViewSystem:
+    """A derivation-bound twin of the environment's system: same
+    document, same views, plan cache off."""
+    serving = MaterializedViewSystem(env.document, plan_cache_size=0)
+    serving.register_views(
+        {view.view_id: view.pattern
+         for view in env.system.materialized_views()}
+    )
+    return serving
+
+
+def build_cost_ranked_pool(
+    system: MaterializedViewSystem, size: int, probe: int = 40
+) -> list[str]:
+    """The ``size`` costliest queries (steady-state, coverage memo
+    warm), most expensive first, so Zipf rank 1 lands on the heaviest
+    query."""
+    candidates = build_query_mix(system, limit=probe)
+    ranked: list[tuple[float, str]] = []
+    for expression in candidates:
+        system.answer(expression)  # warm the coverage memo
+        started = time.perf_counter()
+        system.answer(expression)
+        ranked.append((time.perf_counter() - started, expression))
+    ranked.sort(reverse=True)
+    return [expression for _, expression in ranked[:size]]
+
+
+def _measure_cell(
+    system, pool, workers: int, skewed: bool, requests: int, seed: int
+) -> dict:
+    weights = zipf_weights(len(pool), ZIPF_EXPONENT) if skewed else None
+    concurrency = 1 if workers == 1 else workers * CLIENTS_PER_WORKER
+    engine = SnapshotEngine(system)
+    scheduler = QueryScheduler(
+        engine, workers=workers,
+        queue_limit=max(64, concurrency * 4),
+        default_timeout=120.0,
+    )
+    try:
+        report = run_closed_loop(
+            lambda: InProcessClient(scheduler),
+            pool,
+            total_requests=requests,
+            concurrency=concurrency,
+            weights=weights,
+            seed=seed,
+        )
+        stats = scheduler.stats()
+    finally:
+        scheduler.close()
+    assert report.ok == report.requests, report.status_counts
+    cell = report.as_dict()
+    cell["workers"] = workers
+    cell["clients"] = concurrency
+    cell["mix"] = "skewed" if skewed else "uniform"
+    cell["coalesced"] = stats["coalesced"]
+    return cell
+
+
+def run_grid(scale: float, view_count: int, requests: int, seed: int = 42):
+    setup_started = time.perf_counter()
+    env = build_environment(scale=scale, view_count=view_count, seed=seed)
+    system = build_serving_system(env)
+    pool = build_cost_ranked_pool(system, POOL_SIZE)
+    setup_seconds = time.perf_counter() - setup_started
+
+    cells = []
+    for skewed in (True, False):
+        for workers in WORKER_GRID:
+            cell = _measure_cell(
+                system, pool, workers, skewed, requests, seed
+            )
+            cells.append(cell)
+            print(f"  workers={cell['workers']} clients={cell['clients']} "
+                  f"mix={cell['mix']}: {cell['throughput_qps']:.0f} q/s "
+                  f"(p50 {cell['p50_ms']:.2f} ms, "
+                  f"p99 {cell['p99_ms']:.2f} ms, "
+                  f"coalesced {cell['coalesced']})")
+
+    def qps(workers: int, mix: str) -> float:
+        for cell in cells:
+            if cell["workers"] == workers and cell["mix"] == mix:
+                return cell["throughput_qps"]
+        raise KeyError((workers, mix))
+
+    top = max(WORKER_GRID)
+    return {
+        "config": {
+            "scale": scale,
+            "view_count": view_count,
+            "pool_size": POOL_SIZE,
+            "requests_per_cell": requests,
+            "zipf_exponent": ZIPF_EXPONENT,
+            "clients_per_worker": CLIENTS_PER_WORKER,
+            "plan_cache": "disabled (derivation-bound)",
+            "seed": seed,
+        },
+        "setup_seconds": round(setup_seconds, 3),
+        "cells": cells,
+        "skewed_scaling_vs_single_worker": round(
+            qps(top, "skewed") / qps(1, "skewed"), 2
+        ),
+        "uniform_scaling_vs_single_worker": round(
+            qps(top, "uniform") / qps(1, "uniform"), 2
+        ),
+    }
+
+
+def test_service_throughput_small():
+    """Pytest entry: tiny grid, correctness-oriented — every request
+    succeeds, coalescing engages under concurrency, and the skewed
+    multi-worker cell is not catastrophically slower than serial."""
+    report = run_grid(scale=0.3, view_count=40, requests=300)
+    assert all(cell["ok"] == cell["requests"] for cell in report["cells"])
+    multi = [cell for cell in report["cells"]
+             if cell["workers"] > 1 and cell["mix"] == "skewed"]
+    assert sum(cell["coalesced"] for cell in multi) > 0
+    assert report["skewed_scaling_vs_single_worker"] >= 0.5
+
+
+def main() -> int:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    view_count = int(os.environ.get("REPRO_BENCH_SVC_VIEWS", "200"))
+    requests = int(os.environ.get("REPRO_BENCH_SVC_REQUESTS", "2000"))
+    report = run_grid(scale=scale, view_count=view_count, requests=requests)
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report["config"], indent=2))
+    print(f"skewed scaling {report['skewed_scaling_vs_single_worker']}x, "
+          f"uniform scaling {report['uniform_scaling_vs_single_worker']}x")
+    print(f"wrote {RESULT_PATH}")
+    # Acceptance: the skewed 8-worker cell serves at least 3× the
+    # single-worker closed-loop baseline.
+    assert report["skewed_scaling_vs_single_worker"] >= 3.0, report[
+        "skewed_scaling_vs_single_worker"
+    ]
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

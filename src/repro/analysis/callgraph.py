@@ -71,6 +71,7 @@ LAYER_RANKS: dict[str, int] = {
     "analysis": 6,
     "workload": 6,
     "bench": 7,
+    "service": 7,
 }
 
 #: Top-level application-shell modules exempt from L9: they wire every

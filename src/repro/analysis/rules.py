@@ -610,7 +610,7 @@ class WallClockRule(Rule):
 # ======================================================================
 # L5 — public API annotation coverage
 # ======================================================================
-_L5_DIRS = {"core", "xpath", "storage", "analysis"}
+_L5_DIRS = {"core", "xpath", "storage", "analysis", "service"}
 
 
 def _l5_is_procedure(function: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
@@ -869,7 +869,7 @@ class CacheKeyPurityRule(ProjectRule):
 # ======================================================================
 _L9_DAG = (
     "xmltree -> xpath -> matching -> storage -> core -> "
-    "{analysis, workload} -> bench"
+    "{analysis, workload} -> {bench, service}"
 )
 
 

@@ -11,6 +11,9 @@ system without writing code:
   against a list of view definitions.
 * ``explain``   — print leaf covers and obligations for views vs a query.
 * ``lint``      — run the project's static-analysis pass (xmvrlint).
+* ``serve``     — run the concurrent HTTP/JSON query service
+  (``--smoke N`` starts it on an ephemeral port, drives N requests
+  through the HTTP load client and exits nonzero on any 5xx).
 """
 
 from __future__ import annotations
@@ -74,6 +77,89 @@ def _build_system(arguments: argparse.Namespace) -> MaterializedViewSystem:
             print(f"note: view {view_id} exceeds the fragment cap; excluded",
                   file=sys.stderr)
     return system
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    from .service import (
+        HTTPClient,
+        QueryScheduler,
+        QueryServiceServer,
+        SnapshotEngine,
+        build_query_mix,
+        run_closed_loop,
+        zipf_weights,
+    )
+
+    if arguments.document:
+        tree = parse_xml_file(arguments.document)
+    else:
+        tree = generate_xmark(scale=arguments.scale, seed=arguments.seed)
+    system = MaterializedViewSystem(encode_tree(tree))
+    try:
+        views = _load_views(arguments)
+    except SystemExit:
+        # Serving with zero views is legitimate: clients register
+        # over POST /register.  Smoke mode needs an answerable mix,
+        # so it falls back to a small stock XMark view set.
+        views = {}
+        if arguments.smoke:
+            views = {
+                "name": "//item/name",
+                "person": "//person/name",
+                "paid": "//item[payment]/description",
+            }
+    if views:
+        system.register_views(views)
+
+    engine = SnapshotEngine(system)
+    scheduler = QueryScheduler(
+        engine,
+        workers=arguments.threads,
+        queue_limit=arguments.queue_limit,
+        default_timeout=arguments.timeout_ms / 1e3,
+    )
+    port = 0 if arguments.smoke else arguments.port
+    server = QueryServiceServer(
+        engine, scheduler, host=arguments.host, port=port,
+        verbose=arguments.verbose,
+    )
+    host, bound_port = server.address
+
+    if arguments.smoke:
+        server.start()
+        try:
+            queries = build_query_mix(system)
+            report = run_closed_loop(
+                lambda: HTTPClient(host, bound_port),
+                queries,
+                total_requests=arguments.smoke,
+                concurrency=min(8, arguments.threads * 2),
+                weights=zipf_weights(len(queries)),
+                seed=arguments.seed,
+            )
+        finally:
+            server.shutdown()
+        print(f"smoke: {report.requests} requests, "
+              f"{report.ok} ok, {report.server_errors} server errors, "
+              f"{report.throughput:.0f} q/s, "
+              f"p50 {report.percentile(0.5):.2f} ms, "
+              f"p99 {report.percentile(0.99):.2f} ms")
+        if report.server_errors or report.ok != report.requests:
+            print("smoke: FAILED", file=sys.stderr)
+            return 2
+        print("smoke: OK (clean shutdown)")
+        return 0
+
+    print(f"serving on http://{host}:{bound_port} "
+          f"({arguments.threads} workers, queue {arguments.queue_limit}, "
+          f"{system.view_count} views)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
 
 
 def _cmd_generate(arguments: argparse.Namespace) -> int:
@@ -225,6 +311,31 @@ def main(argv: list[str] | None = None) -> int:
         help="materialize the views and show full selection diagnostics",
     )
     explain.set_defaults(handler=_cmd_explain)
+
+    serve = commands.add_parser(
+        "serve", help="run the concurrent HTTP/JSON query service"
+    )
+    serve.add_argument("--view", action="append", metavar="ID=EXPR")
+    serve.add_argument("--views", metavar="FILE",
+                       help="file of 'id expression' lines")
+    serve.add_argument("--document", metavar="XML",
+                       help="XML file (default: generated XMark)")
+    serve.add_argument("--scale", type=float, default=0.5)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--threads", type=int, default=4,
+                       help="scheduler worker threads (default 4)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="admission queue depth (default 64)")
+    serve.add_argument("--timeout-ms", type=float, default=10_000.0,
+                       help="default per-request deadline (default 10s)")
+    serve.add_argument("--smoke", type=int, default=0, metavar="N",
+                       help="serve on an ephemeral port, drive N HTTP "
+                            "requests, exit nonzero on any 5xx")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+    serve.set_defaults(handler=_cmd_serve)
 
     lint = commands.add_parser(
         "lint", help="run xmvrlint over the source tree"

@@ -41,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..xpath.pattern import TreePattern
     from .plancache import PlanEntry
     from .selection import Selection
-    from .system import MaterializedViewSystem
+    from .system import MaterializedViewSystem, RegistryEpoch
     from .vfilter import FilterResult
 
 __all__ = [
@@ -153,6 +153,7 @@ def check_plan_consistency(
     entry: "PlanEntry",
     strategy: str,
     context: str,
+    epoch: "RegistryEpoch | None" = None,
 ) -> None:
     """A cache-served plan must structurally match a fresh derivation.
 
@@ -161,13 +162,18 @@ def check_plan_consistency(
     selected view ids and answer codes.  A mismatch means the cache
     held a plan for a different view pool or document state — i.e. an
     ``_invalidate_plans()`` call was missed somewhere.
+
+    ``epoch`` pins the registry state for the re-derivation; the
+    answering path passes the epoch the cached plan came from so a
+    registration landing between answer and check cannot produce a
+    false stale-plan report.
     """
     from .rewrite import rewrite
     from ..errors import ViewNotAnswerableError
 
     try:
         _, fresh_selection = system._derive_selection(
-            entry.pattern, strategy, units_fn=None
+            entry.pattern, strategy, units_fn=None, epoch=epoch
         )
     except ViewNotAnswerableError as fresh_error:
         if entry.error is None:

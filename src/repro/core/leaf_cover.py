@@ -34,6 +34,7 @@ units' coverage equals the obligation set and some unit provides ``Δ``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -282,11 +283,20 @@ class CoverageMemo:
     is document-independent) and ``register_view`` (existing pairs are
     unaffected; new views simply miss).  Because a system never
     redefines a view id, entries never go stale.
+
+    **Thread safety.**  The memo is shared by every epoch (see
+    ``core.system``), so concurrent service workers hit it from many
+    threads.  An internal re-entrant lock guards the LRU and the
+    per-slot dicts; :func:`coverage_units` itself runs *outside* the
+    lock, so two threads may race to compute the same pair — both
+    results are equivalent (built from the same interned pattern's
+    nodes) and the second store is an idempotent overwrite.
     """
 
     def __init__(self, max_queries: int = 512) -> None:
         self.max_queries = max_queries
         self._queries: "OrderedDict[str, _QueryMemo]" = OrderedDict()
+        self._lock = threading.RLock()
         self.computed = 0
         self.served = 0
 
@@ -294,29 +304,35 @@ class CoverageMemo:
     def intern(self, query_key: str, pattern: TreePattern) -> TreePattern:
         """Return the canonical pattern object for ``query_key``,
         adopting ``pattern`` when the key is new."""
-        slot = self._queries.get(query_key)
-        if slot is None:
-            slot = _QueryMemo(pattern)
-            self._queries[query_key] = slot
-            while len(self._queries) > self.max_queries:
-                self._queries.popitem(last=False)
-        self._queries.move_to_end(query_key)
-        return slot.pattern
+        with self._lock:
+            slot = self._queries.get(query_key)
+            if slot is None:
+                slot = _QueryMemo(pattern)
+                self._queries[query_key] = slot
+                while len(self._queries) > self.max_queries:
+                    self._queries.popitem(last=False)
+            self._queries.move_to_end(query_key)
+            return slot.pattern
 
     def units(self, view: View, query_key: str, pattern: TreePattern) -> list[CoverageUnit]:
         """Memoized :func:`coverage_units` for an interned query."""
-        slot = self._queries.get(query_key)
+        with self._lock:
+            slot = self._queries.get(query_key)
+            if slot is not None:
+                units = slot.units.get(view.view_id)
+                if units is not None:
+                    self.served += 1
+                    return units
+                pattern = slot.pattern
         if slot is None:
             # Evicted between intern and use: recompute without caching.
-            self.computed += 1
+            with self._lock:
+                self.computed += 1
             return coverage_units(view, pattern)
-        units = slot.units.get(view.view_id)
-        if units is None:
+        units = coverage_units(view, pattern)
+        with self._lock:
             self.computed += 1
-            units = coverage_units(view, slot.pattern)
             slot.units[view.view_id] = units
-        else:
-            self.served += 1
         return units
 
     def compensation(
@@ -325,10 +341,11 @@ class CoverageMemo:
         """Cached (compensating pattern, case-1 skip) for a unit, or
         None when not yet recorded.  Only meaningful for units whose
         anchor belongs to the interned pattern of ``query_key``."""
-        slot = self._queries.get(query_key)
-        if slot is None:
-            return None
-        return slot.compensations.get((unit.view.view_id, id(unit.anchor)))
+        with self._lock:
+            slot = self._queries.get(query_key)
+            if slot is None:
+                return None
+            return slot.compensations.get((unit.view.view_id, id(unit.anchor)))
 
     def record_compensation(
         self,
@@ -337,18 +354,21 @@ class CoverageMemo:
         pattern: TreePattern,
         skipped: bool,
     ) -> None:
-        slot = self._queries.get(query_key)
-        if slot is not None:
-            key = (unit.view.view_id, id(unit.anchor))
-            slot.compensations[key] = (pattern, skipped)
+        with self._lock:
+            slot = self._queries.get(query_key)
+            if slot is not None:
+                key = (unit.view.view_id, id(unit.anchor))
+                slot.compensations[key] = (pattern, skipped)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:
-        return {
-            "coverage_computed": self.computed,
-            "coverage_served": self.served,
-            "queries": len(self._queries),
-        }
+        with self._lock:
+            return {
+                "coverage_computed": self.computed,
+                "coverage_served": self.served,
+                "queries": len(self._queries),
+            }
 
     def clear(self) -> None:
-        self._queries.clear()
+        with self._lock:
+            self._queries.clear()

@@ -38,7 +38,6 @@ from ..xmltree.builder import encode_tree
 from ..xmltree.dewey import DeweyCode, assign_child_component, is_prefix
 from ..xmltree.tree import XMLNode
 from .system import MaterializedViewSystem
-from .vfilter import VFilter
 from .view import View
 
 __all__ = ["MaintenanceReport", "DocumentEditor"]
@@ -228,13 +227,7 @@ class DocumentEditor:
         """Remove views from the answerable pool and rebuild VFILTER."""
         system = self.system
         system._invalidate_plans()
-        gone = set(view_ids)
-        system._materialized = [
-            view for view in system._materialized if view.view_id not in gone
-        ]
-        fresh = VFilter(attribute_pruning=system.vfilter.attribute_pruning)
-        fresh.add_views(system._materialized)
-        system.vfilter = fresh
+        system._evict_materialized(view_ids)
 
     def _view_touched(
         self,

@@ -36,6 +36,7 @@ the rewrite stage instead of the caller's freshly parsed copy.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -95,17 +96,35 @@ class PlanCacheStats:
             "evictions": self.evictions,
         }
 
+    def absorb(self, other: "PlanCacheStats") -> None:
+        """Fold another counter set into this one (epoch retirement:
+        the system accumulates the stats of every retired epoch's cache
+        so ``stats()`` stays cumulative across registrations)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.invalidations += other.invalidations
+        self.evictions += other.evictions
+
 
 class PlanCache:
-    """Bounded LRU of :class:`PlanEntry` keyed by (canonical, strategy)."""
+    """Bounded LRU of :class:`PlanEntry` keyed by (canonical, strategy).
+
+    Thread-safe: the service layer answers queries from many threads
+    against one epoch's cache, so every operation (including the LRU
+    bookkeeping inside :meth:`get`) runs under an internal mutex.  The
+    lock is uncontended in single-threaded use and never held across
+    plan derivation — only across the dict bookkeeping itself.
+    """
 
     def __init__(self, maxsize: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple[str, str], PlanEntry] = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = PlanCacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def enabled(self) -> bool:
@@ -113,25 +132,33 @@ class PlanCache:
 
     def get(self, query_key: str, strategy: str) -> PlanEntry | None:
         """Return the cached plan and count the hit/miss."""
-        entry = self._entries.get((query_key, strategy))
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end((query_key, strategy))
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get((query_key, strategy))
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end((query_key, strategy))
+            self.stats.hits += 1
+            return entry
 
     def put(self, query_key: str, strategy: str, entry: PlanEntry) -> None:
         if not self.enabled:
             return
-        self._entries[(query_key, strategy)] = entry
-        self._entries.move_to_end((query_key, strategy))
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[(query_key, strategy)] = entry
+            self._entries.move_to_end((query_key, strategy))
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop every plan (view pool or base document changed)."""
-        if self._entries:
-            self.stats.invalidations += 1
-            self._entries.clear()
+        with self._lock:
+            if self._entries:
+                self.stats.invalidations += 1
+                self._entries.clear()
+
+    def stats_dict(self) -> dict[str, int]:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return self.stats.as_dict()

@@ -20,11 +20,28 @@ set cover entirely) and a shared :class:`~repro.core.leaf_cover.CoverageMemo`
 ``(view, query)`` pair).  ``stats()`` exposes hit/miss counters and
 per-stage timings.
 
+**Epoch snapshots.**  The registry state a query depends on — view
+catalog, materialized pool, VFILTER, plan cache — lives in one
+immutable :class:`RegistryEpoch` published through ``self._epoch``.
+Readers pin the epoch once at ``answer()`` entry and never look at
+mutable registry state again, so concurrent registrations can never
+tear a half-updated view pool through an in-flight query:
+``register_view`` / ``reopen`` / eviction build the *next* epoch beside
+the current one (copy-on-write; VFILTER grows by an immutable layer,
+see :class:`~repro.core.vfilter.LayeredVFilter`) and publish it with a
+single reference swap.  Every answer is therefore byte-identical to a
+serial execution against the consistent registry state of its pinned
+epoch.  In-place document maintenance is the one exception — it cannot
+be snapshotted and requires external exclusion (the service layer's
+engine drains readers first; single-threaded library use needs
+nothing).
+
 This is the object the examples and benchmarks drive.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -43,7 +60,12 @@ from ..xpath.pattern import TreePattern
 from .contained import ContainedResult, maximal_contained_rewriting
 from .leaf_cover import CoverageMemo, CoverageUnit
 from .parallel import MIN_PARALLEL_VIEWS, default_workers, evaluate_views_parallel
-from .plancache import DEFAULT_PLAN_CACHE_SIZE, PlanCache, PlanEntry
+from .plancache import (
+    DEFAULT_PLAN_CACHE_SIZE,
+    PlanCache,
+    PlanCacheStats,
+    PlanEntry,
+)
 from .rewrite import RewriteResult, rewrite
 from .selection import (
     Selection,
@@ -52,13 +74,39 @@ from .selection import (
     select_heuristic,
     select_minimum,
 )
-from .vfilter import FilterResult, VFilter
+from .vfilter import FilterResult, LayeredVFilter
 from .view import View
 
-__all__ = ["AnswerOutcome", "MaterializedViewSystem"]
+__all__ = ["AnswerOutcome", "MaterializedViewSystem", "RegistryEpoch"]
 
 #: Selection strategies accepted by :meth:`MaterializedViewSystem.answer`.
 _STRATEGIES = ("HV", "MV", "MN", "CB")
+
+#: Collapse the layered VFILTER back into one monolithic automaton once
+#: this many single-view delta layers have accumulated (bounds per-query
+#: filter overhead at ~K cheap layer probes while keeping bulk
+#: registration linear instead of quadratic).
+_REBUILD_DELTAS = 24
+
+
+@dataclass(frozen=True, slots=True)
+class RegistryEpoch:
+    """One immutable published state of the view registry.
+
+    Everything a reader needs hangs off the epoch: the view catalog
+    (``views`` — built copy-on-write, never mutated after publication),
+    the answerable pool in registration order, the layered VFILTER and
+    the epoch's own plan cache.  A query pins one epoch at entry and is
+    thereby isolated from every later registration; cached plans can
+    never leak across registry states because each epoch gets a fresh
+    cache (``seq`` increases monotonically with each publication).
+    """
+
+    seq: int
+    views: dict[str, View]
+    materialized: tuple[View, ...]
+    vfilter: LayeredVFilter
+    plan_cache: PlanCache
 
 
 def _sorted_codes(answers: Iterable[XMLNode]) -> list[DeweyCode]:
@@ -76,7 +124,9 @@ class AnswerOutcome:
     pipeline (Figure 8).  ``selection`` / ``rewrite_result`` expose the
     intermediate artifacts.  ``plan_cache_hit`` marks answers served
     from a cached plan; ``stage_seconds`` breaks the call down into
-    ``parse`` / ``lookup`` / ``rewrite``.
+    ``parse`` / ``lookup`` / ``rewrite``.  ``epoch_seq`` is the
+    sequence number of the registry epoch the answer was derived
+    against (the service layer's linearization point).
     """
 
     codes: list[DeweyCode]
@@ -89,6 +139,7 @@ class AnswerOutcome:
     candidates: list[str] = field(default_factory=list)
     plan_cache_hit: bool = False
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    epoch_seq: int = -1
 
     @property
     def view_ids(self) -> list[str]:
@@ -107,15 +158,28 @@ class MaterializedViewSystem:
         cache_results: bool = True,
     ):
         self.document = document
-        self.vfilter = VFilter()
         self.fragments = FragmentStore(store, cap_bytes=fragment_cap)
-        self._views: dict[str, View] = {}
-        self._materialized: list[View] = []
-        self._node_index: NodeIndex | None = None
-        self._path_index: FullPathIndex | None = None
-        self._plan_cache = PlanCache(plan_cache_size)
+        self._plan_cache_size = plan_cache_size
         self._cache_results = cache_results
         self._memo = CoverageMemo()
+        self._node_index: NodeIndex | None = None
+        self._path_index: FullPathIndex | None = None
+        #: Serialises every registry mutation (registration, eviction,
+        #: maintenance).  Readers never take it: they pin ``_epoch``.
+        self._mutate_lock = threading.RLock()
+        #: Guards the scalar counters and the epoch/stats-base pairing.
+        self._stats_lock = threading.Lock()
+        #: Guards lazy construction of the BN/BF baseline indexes.
+        self._index_lock = threading.Lock()
+        #: Cumulative plan-cache counters of every retired epoch.
+        self._plan_stats_base = PlanCacheStats()
+        self._epoch = RegistryEpoch(
+            seq=0,
+            views={},
+            materialized=(),
+            vfilter=LayeredVFilter.build([]),
+            plan_cache=PlanCache(plan_cache_size),
+        )
         self._stage_totals: dict[str, float] = {
             "parse": 0.0, "lookup": 0.0, "rewrite": 0.0
         }
@@ -123,6 +187,61 @@ class MaterializedViewSystem:
         self._warm_hits = 0
         self._parallel_registered = 0
         self._serial_registered = 0
+
+    # ------------------------------------------------------------------
+    # epoch plumbing
+    # ------------------------------------------------------------------
+    def current_epoch(self) -> RegistryEpoch:
+        """The currently published registry epoch (pin it to answer a
+        batch of queries against one consistent state)."""
+        return self._epoch
+
+    @property
+    def vfilter(self) -> LayeredVFilter:
+        """The current epoch's filter (read-only snapshot)."""
+        return self._epoch.vfilter
+
+    @property
+    def _views(self) -> dict[str, View]:
+        """The current epoch's view catalog.  Treat as immutable: it is
+        shared with published epochs and replaced, never mutated."""
+        return self._epoch.views
+
+    @property
+    def _materialized(self) -> list[View]:
+        """The current epoch's answerable pool (a fresh list)."""
+        return list(self._epoch.materialized)
+
+    @property
+    def _plan_cache(self) -> PlanCache:
+        return self._epoch.plan_cache
+
+    def _publish(
+        self,
+        views: dict[str, View],
+        materialized: tuple[View, ...],
+        vfilter: LayeredVFilter,
+    ) -> None:
+        """Swap in the next epoch (callers hold ``_mutate_lock``).
+
+        The retiring epoch's plan-cache counters are folded into the
+        cumulative base under the stats lock together with the epoch
+        swap itself, so :meth:`stats` never double- or under-counts a
+        cache that is mid-retirement.  Readers that pinned the retiring
+        epoch keep using it untouched — publication never blocks them.
+        """
+        retiring = self._epoch
+        with self._stats_lock:
+            self._plan_stats_base.absorb(
+                PlanCacheStats(**retiring.plan_cache.stats_dict())
+            )
+            self._epoch = RegistryEpoch(
+                seq=retiring.seq + 1,
+                views=views,
+                materialized=materialized,
+                vfilter=vfilter,
+                plan_cache=PlanCache(self._plan_cache_size),
+            )
 
     # ------------------------------------------------------------------
     # registration
@@ -134,33 +253,47 @@ class MaterializedViewSystem:
             view = View(view_id, expression)
         else:
             view = View.from_xpath(view_id, expression)
-        if view.view_id in self._views:
-            raise ValueError(f"duplicate view id {view_id!r}")
-        answers = evaluate(view.pattern, self.document.tree)
-        entries = [
-            (node.dewey, node) for node in answers if node.dewey is not None
-        ]
-        fits = self.fragments.materialize(view_id, entries)
-        self._serial_registered += 1
-        return self._admit_view(view, fits)
+        with self._mutate_lock:
+            if view.view_id in self._views:
+                raise ValueError(f"duplicate view id {view_id!r}")
+            answers = evaluate(view.pattern, self.document.tree)
+            entries = [
+                (node.dewey, node)
+                for node in answers
+                if node.dewey is not None
+            ]
+            fits = self.fragments.materialize(view_id, entries)
+            with self._stats_lock:
+                self._serial_registered += 1
+            return self._admit_view(view, fits)
 
     def _admit_view(self, view: View, fits: bool) -> bool:
         """Shared tail of serial and parallel registration: drop stale
-        plans, catalog the view, persist its definition, extend VFILTER.
+        plans, then stage and publish the next epoch with the view
+        cataloged, its definition persisted and VFILTER extended.
 
         Invalidation runs *first*: the plan cache only refills through
         ``answer()``, so one drop covers every mutation of this call,
         and an exception from persistence or VFILTER extension cannot
         leave cached plans derived from the pre-registration state
-        (xmvrlint L7).
+        (xmvrlint L7).  In-flight readers pinned to the previous epoch
+        are untouched — they never see the half-built successor.
         """
-        self._invalidate_plans()
-        self._views[view.view_id] = view
-        self._persist_definition(view)
-        if fits:
-            self._materialized.append(view)
-            self.vfilter.add_view(view)
-        return fits
+        with self._mutate_lock:
+            self._invalidate_plans()
+            epoch = self._epoch
+            views = dict(epoch.views)
+            views[view.view_id] = view
+            self._persist_definition(view)
+            materialized = epoch.materialized
+            vfilter = epoch.vfilter
+            if fits:
+                materialized = materialized + (view,)
+                vfilter = vfilter.with_view(view)
+                if vfilter.delta_count >= _REBUILD_DELTAS:
+                    vfilter = vfilter.collapsed()
+            self._publish(views, materialized, vfilter)
+            return fits
 
     def register_views(
         self,
@@ -179,28 +312,34 @@ class MaterializedViewSystem:
         items = list(expressions.items())
         if workers is None:
             workers = default_workers()
-        if workers >= 2 and len(items) >= MIN_PARALLEL_VIEWS:
-            prepared = self._prepare_views(items)
-            payload = [(view.view_id, view.to_xpath()) for view in prepared]
-            try:
-                encoded = evaluate_views_parallel(
-                    self.document, payload, self.fragments.cap_bytes, workers
-                )
-            except Exception:
-                # Pool unavailable or died mid-evaluation.  The pool
-                # work is pure — nothing has been admitted yet — so the
-                # serial path below starts from a clean slate.  (The
-                # admission loop is deliberately *outside* this try: a
-                # failure there leaves views registered, and retrying
-                # serially would double-register them.)
-                encoded = None
-            if encoded is not None:
-                return self._admit_encoded(prepared, encoded)
-        return [
-            view_id
-            for view_id, expression in items
-            if self.register_view(view_id, expression)
-        ]
+        with self._mutate_lock:
+            if workers >= 2 and len(items) >= MIN_PARALLEL_VIEWS:
+                prepared = self._prepare_views(items)
+                payload = [
+                    (view.view_id, view.to_xpath()) for view in prepared
+                ]
+                try:
+                    encoded = evaluate_views_parallel(
+                        self.document,
+                        payload,
+                        self.fragments.cap_bytes,
+                        workers,
+                    )
+                except Exception:
+                    # Pool unavailable or died mid-evaluation.  The pool
+                    # work is pure — nothing has been admitted yet — so
+                    # the serial path below starts from a clean slate.
+                    # (The admission loop is deliberately *outside* this
+                    # try: a failure there leaves views registered, and
+                    # retrying serially would double-register them.)
+                    encoded = None
+                if encoded is not None:
+                    return self._admit_encoded(prepared, encoded)
+            return [
+                view_id
+                for view_id, expression in items
+                if self.register_view(view_id, expression)
+            ]
 
     def _prepare_views(
         self, items: list[tuple[str, str | TreePattern]]
@@ -223,17 +362,21 @@ class MaterializedViewSystem:
         # Invalidate up front: one drop covers the whole batch (the
         # cache refills only via answer()), and a failure mid-batch
         # cannot leave plans derived from the pre-registration state
-        # (xmvrlint L1/L7).
-        self._invalidate_plans()
-        registered: list[str] = []
-        for view in prepared:
-            fits = self.fragments.materialize_encoded(
-                view.view_id, encoded[view.view_id]
-            )
-            if self._admit_view(view, fits):
-                registered.append(view.view_id)
-        self._parallel_registered += len(prepared)
-        return registered
+        # (xmvrlint L1/L7).  Each admission publishes its own epoch, so
+        # a mid-batch failure leaves every fully admitted view visible
+        # and nothing half-registered.
+        with self._mutate_lock:
+            self._invalidate_plans()
+            registered: list[str] = []
+            for view in prepared:
+                fits = self.fragments.materialize_encoded(
+                    view.view_id, encoded[view.view_id]
+                )
+                if self._admit_view(view, fits):
+                    registered.append(view.view_id)
+            with self._stats_lock:
+                self._parallel_registered += len(prepared)
+            return registered
 
     # ------------------------------------------------------------------
     # persistence
@@ -262,7 +405,10 @@ class MaterializedViewSystem:
         definitions, and capped views stay excluded — the same state as
         after the original ``register_view`` calls, minus the base-data
         evaluation cost.  Plan cache and memo start empty (they are
-        in-memory artifacts of one session).
+        in-memory artifacts of one session).  The rebuilt registry is
+        staged off to the side and published as one epoch, so a reader
+        handed the system object mid-reopen would see either the empty
+        initial epoch or the complete catalog, never a prefix.
         """
         from ..storage.serialize import decode_text
 
@@ -278,23 +424,52 @@ class MaterializedViewSystem:
             view_id = key[len(cls._DEFINITION_PREFIX):].decode()
             expression, _ = decode_text(value, 0)
             definitions[view_id] = expression
+        views: dict[str, View] = {}
+        materialized: list[View] = []
         for view_id in sorted(definitions):
             view = View.from_xpath(view_id, definitions[view_id])
-            system._views[view_id] = view
+            views[view_id] = view
             if system.fragments.is_materialized(view_id):
-                system._materialized.append(view)
-                system.vfilter.add_view(view)
+                materialized.append(view)
+        with system._mutate_lock:
+            # Invalidate-first like every other mutator (a no-op on the
+            # fresh system, but it keeps the uniform L7 discipline: an
+            # exception out of the filter build cannot strand plans).
+            system._invalidate_plans()
+            system._publish(
+                views, tuple(materialized), LayeredVFilter.build(materialized)
+            )
         return system
 
     @property
     def view_count(self) -> int:
-        return len(self._materialized)
+        return len(self._epoch.materialized)
 
     def view(self, view_id: str) -> View:
-        return self._views[view_id]
+        return self._epoch.views[view_id]
 
     def materialized_views(self) -> list[View]:
-        return list(self._materialized)
+        return list(self._epoch.materialized)
+
+    def _evict_materialized(self, view_ids: Iterable[str]) -> None:
+        """Remove views from the answerable pool (they stay cataloged)
+        and publish an epoch with a rebuilt monolithic VFILTER.  Used
+        by document maintenance when a refreshed view outgrows the
+        fragment cap or fails to re-materialize.
+        """
+        with self._mutate_lock:
+            self._invalidate_plans()
+            epoch = self._epoch
+            gone = set(view_ids)
+            materialized = tuple(
+                view
+                for view in epoch.materialized
+                if view.view_id not in gone
+            )
+            vfilter = LayeredVFilter.build(
+                list(materialized), epoch.vfilter.attribute_pruning
+            )
+            self._publish(epoch.views, materialized, vfilter)
 
     # ------------------------------------------------------------------
     # plan cache plumbing
@@ -306,34 +481,58 @@ class MaterializedViewSystem:
         :class:`~repro.core.maintenance.DocumentEditor` after inserts
         and deletes.  The coverage memo survives: coverage is a pure
         function of the view and query patterns, and view ids are never
-        redefined within one system.
+        redefined within one system.  Clears the *current* epoch's
+        cache in place; mutations that publish a successor epoch
+        additionally retire the cleared cache wholesale.
         """
-        self._plan_cache.clear()
+        self._epoch.plan_cache.clear()
 
     def stats(self) -> dict[str, object]:
-        """Operational counters for the answering hot path."""
+        """Operational counters for the answering hot path.
+
+        Returns a *deep snapshot*: every nested dict is freshly built
+        under the stats lock, so a caller (the service ``/stats``
+        endpoint, a test) can hold or mutate the result while serving
+        continues without seeing live counters shift or corrupting
+        system state.  Plan-cache counters are cumulative across
+        epochs: the retired epochs' folded base plus the live cache.
+        """
+        with self._stats_lock:
+            epoch = self._epoch
+            plan: dict[str, int] = self._plan_stats_base.as_dict()
+            answers = self._answer_calls
+            warm_hits = self._warm_hits
+            stage = dict(self._stage_totals)
+            registered_parallel = self._parallel_registered
+            registered_serial = self._serial_registered
+        for key, value in epoch.plan_cache.stats_dict().items():
+            plan[key] += value
+        plan["entries"] = len(epoch.plan_cache)
+        plan["maxsize"] = epoch.plan_cache.maxsize
         return {
             "views": {
-                "registered": len(self._views),
-                "materialized": len(self._materialized),
-                "registered_parallel": self._parallel_registered,
-                "registered_serial": self._serial_registered,
+                "registered": len(epoch.views),
+                "materialized": len(epoch.materialized),
+                "registered_parallel": registered_parallel,
+                "registered_serial": registered_serial,
             },
-            "plan_cache": {
-                **self._plan_cache.stats.as_dict(),
-                "entries": len(self._plan_cache),
-                "maxsize": self._plan_cache.maxsize,
-            },
+            "plan_cache": plan,
             "coverage_memo": self._memo.stats(),
-            "answers": self._answer_calls,
-            "stage_seconds": dict(self._stage_totals),
+            "answers": answers,
+            "warm_hits": warm_hits,
+            "epoch": epoch.seq,
+            "stage_seconds": stage,
         }
 
     # ------------------------------------------------------------------
     # answering with views
     # ------------------------------------------------------------------
     def answer(
-        self, query: str | TreePattern, strategy: str = "HV"
+        self,
+        query: str | TreePattern,
+        strategy: str = "HV",
+        *,
+        epoch: RegistryEpoch | None = None,
     ) -> AnswerOutcome:
         """Answer ``query`` from materialized views.
 
@@ -346,6 +545,12 @@ class MaterializedViewSystem:
         Repeated queries (same canonical pattern, same strategy) are
         served from the plan cache until the next view registration or
         maintenance update.
+
+        The registry ``epoch`` is pinned once at entry (or passed in by
+        a caller that wants several queries against one consistent
+        state); everything downstream — filter, catalog lookups, plan
+        cache — reads only the pinned epoch, so a concurrent
+        registration can never tear this answer.
         """
         if strategy not in _STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; use {_STRATEGIES}")
@@ -353,41 +558,53 @@ class MaterializedViewSystem:
         pattern = parse_xpath(query) if isinstance(query, str) else query
         query_key = pattern.canonical_string()
         started = time.perf_counter()
-        self._answer_calls += 1
-        self._stage_totals["parse"] += started - entered
+        if epoch is None:
+            epoch = self._epoch
+        with self._stats_lock:
+            self._answer_calls += 1
+            self._stage_totals["parse"] += started - entered
 
         entry = (
-            self._plan_cache.get(query_key, strategy)
-            if self._plan_cache.enabled
+            epoch.plan_cache.get(query_key, strategy)
+            if epoch.plan_cache.enabled
             else None
         )
         if entry is not None:
-            return self._answer_warm(entry, strategy, query_key, entered, started)
-        return self._answer_cold(pattern, strategy, query_key, entered, started)
+            return self._answer_warm(
+                entry, strategy, query_key, entered, started, epoch
+            )
+        return self._answer_cold(
+            pattern, strategy, query_key, entered, started, epoch
+        )
 
     def _derive_selection(
         self,
         pattern: TreePattern,
         strategy: str,
         units_fn: UnitsFn | None = None,
+        epoch: RegistryEpoch | None = None,
     ) -> tuple[FilterResult | None, Selection]:
         """Filter + select for one query: the plan-derivation core.
 
         With ``units_fn=None`` every coverage computation runs fresh
         (no :class:`CoverageMemo`), which is what the contract layer
-        needs to cross-check cached plans against first principles.
+        needs to cross-check cached plans against first principles —
+        it passes the epoch the cached plan was derived against, so the
+        cross-check is immune to registrations that landed since.
         """
+        if epoch is None:
+            epoch = self._epoch
         if strategy == "MN":
             return None, select_minimum(
-                self._materialized,
+                list(epoch.materialized),
                 pattern,
                 self.fragments.fragment_bytes,
                 units_fn=units_fn,
             )
-        filter_result = self.vfilter.filter(pattern)
+        filter_result = epoch.vfilter.filter(pattern)
         if strategy in ("MV", "CB"):
             candidates = [
-                self._views[view_id] for view_id in filter_result.candidates
+                epoch.views[view_id] for view_id in filter_result.candidates
             ]
             selector = select_minimum if strategy == "MV" else select_cost_based
             selection = selector(
@@ -399,7 +616,7 @@ class MaterializedViewSystem:
         else:
             selection = select_heuristic(
                 filter_result,
-                self._views.__getitem__,
+                epoch.views.__getitem__,
                 pattern,
                 self.fragments.fragment_bytes,
                 units_fn=units_fn,
@@ -413,6 +630,7 @@ class MaterializedViewSystem:
         query_key: str,
         entered: float,
         started: float,
+        epoch: RegistryEpoch,
     ) -> AnswerOutcome:
         pattern = self._memo.intern(query_key, pattern)
 
@@ -421,10 +639,10 @@ class MaterializedViewSystem:
 
         try:
             filter_result, selection = self._derive_selection(
-                pattern, strategy, units_fn=units_fn
+                pattern, strategy, units_fn=units_fn, epoch=epoch
             )
         except ViewNotAnswerableError as error:
-            self._plan_cache.put(
+            epoch.plan_cache.put(
                 query_key,
                 strategy,
                 PlanEntry(pattern, None, None, error=error),
@@ -435,7 +653,7 @@ class MaterializedViewSystem:
             contracts.check_selection_covers(selection, pattern, context)
             if filter_result is not None:
                 contracts.check_vfilter_sound(
-                    pattern, filter_result, self._materialized, context
+                    pattern, filter_result, list(epoch.materialized), context
                 )
         lookup_done = time.perf_counter()
 
@@ -458,10 +676,11 @@ class MaterializedViewSystem:
         entry = PlanEntry(pattern, filter_result, selection)
         if self._cache_results:
             entry.result = result
-        self._plan_cache.put(query_key, strategy, entry)
+        epoch.plan_cache.put(query_key, strategy, entry)
 
-        self._stage_totals["lookup"] += lookup_done - started
-        self._stage_totals["rewrite"] += finished - lookup_done
+        with self._stats_lock:
+            self._stage_totals["lookup"] += lookup_done - started
+            self._stage_totals["rewrite"] += finished - lookup_done
         return AnswerOutcome(
             codes=list(result.codes),
             strategy=strategy,
@@ -477,6 +696,7 @@ class MaterializedViewSystem:
                 "lookup": lookup_done - started,
                 "rewrite": finished - lookup_done,
             },
+            epoch_seq=epoch.seq,
         )
 
     def _answer_warm(
@@ -486,17 +706,22 @@ class MaterializedViewSystem:
         query_key: str,
         entered: float,
         started: float,
+        epoch: RegistryEpoch,
     ) -> AnswerOutcome:
-        self._warm_hits += 1
+        with self._stats_lock:
+            self._warm_hits += 1
+            warm_index = self._warm_hits - 1
         if contracts.enabled() and (
-            (self._warm_hits - 1) % contracts.sample_every() == 0
+            warm_index % contracts.sample_every() == 0
         ):
             # Before trusting the cached plan (including a cached
             # failure), re-derive it from first principles on a sampled
-            # fraction of warm hits.
+            # fraction of warm hits — against the same pinned epoch, so
+            # concurrent registrations cannot fake a stale-plan report.
             contracts.check_plan_consistency(
                 self, entry, strategy,
                 f"answer({query_key!r}, {strategy}) [warm]",
+                epoch=epoch,
             )
         if entry.error is not None:
             raise entry.replay_error()
@@ -522,8 +747,9 @@ class MaterializedViewSystem:
             )
         finished = time.perf_counter()
 
-        self._stage_totals["lookup"] += lookup_done - started
-        self._stage_totals["rewrite"] += finished - lookup_done
+        with self._stats_lock:
+            self._stage_totals["lookup"] += lookup_done - started
+            self._stage_totals["rewrite"] += finished - lookup_done
         return AnswerOutcome(
             codes=list(result.codes),
             strategy=strategy,
@@ -541,6 +767,7 @@ class MaterializedViewSystem:
                 "lookup": lookup_done - started,
                 "rewrite": finished - lookup_done,
             },
+            epoch_seq=epoch.seq,
         )
 
     def try_answer(
@@ -555,13 +782,35 @@ class MaterializedViewSystem:
     # ------------------------------------------------------------------
     # base-data baselines
     # ------------------------------------------------------------------
+    def _ensure_node_index(self) -> NodeIndex:
+        """Build the BN index once; double-checked under a lock so two
+        concurrent baseline calls never build (or half-publish) it
+        twice."""
+        index = self._node_index
+        if index is None:
+            with self._index_lock:
+                index = self._node_index
+                if index is None:
+                    index = NodeIndex(self.document.tree)
+                    self._node_index = index
+        return index
+
+    def _ensure_path_index(self) -> FullPathIndex:
+        index = self._path_index
+        if index is None:
+            with self._index_lock:
+                index = self._path_index
+                if index is None:
+                    index = FullPathIndex(self.document.tree)
+                    self._path_index = index
+        return index
+
     def answer_bn(self, query: str | TreePattern) -> AnswerOutcome:
         """BN: evaluate on base data with the basic node index."""
         pattern = parse_xpath(query) if isinstance(query, str) else query
-        if self._node_index is None:
-            self._node_index = NodeIndex(self.document.tree)
+        index = self._ensure_node_index()
         started = time.perf_counter()
-        answers = self._node_index.evaluate(pattern)
+        answers = index.evaluate(pattern)
         finished = time.perf_counter()
         return AnswerOutcome(
             _sorted_codes(answers), "BN", total_seconds=finished - started
@@ -570,10 +819,9 @@ class MaterializedViewSystem:
     def answer_bf(self, query: str | TreePattern) -> AnswerOutcome:
         """BF: evaluate on base data with the full path index."""
         pattern = parse_xpath(query) if isinstance(query, str) else query
-        if self._path_index is None:
-            self._path_index = FullPathIndex(self.document.tree)
+        index = self._ensure_path_index()
         started = time.perf_counter()
-        answers = self._path_index.evaluate(pattern)
+        answers = index.evaluate(pattern)
         finished = time.perf_counter()
         return AnswerOutcome(
             _sorted_codes(answers), "BF", total_seconds=finished - started
@@ -590,7 +838,7 @@ class MaterializedViewSystem:
         """
         pattern = parse_xpath(query) if isinstance(query, str) else query
         return maximal_contained_rewriting(
-            self._materialized,
+            list(self._epoch.materialized),
             pattern,
             self.fragments,
             self.document.schema,
@@ -622,11 +870,7 @@ class MaterializedViewSystem:
     # ------------------------------------------------------------------
     def index_sizes(self) -> dict[str, int]:
         """Byte estimates of the BN / BF indexes (built on demand)."""
-        if self._node_index is None:
-            self._node_index = NodeIndex(self.document.tree)
-        if self._path_index is None:
-            self._path_index = FullPathIndex(self.document.tree)
         return {
-            "BN": self._node_index.stored_bytes,
-            "BF": self._path_index.stored_bytes,
+            "BN": self._ensure_node_index().stored_bytes,
+            "BF": self._ensure_path_index().stored_bytes,
         }

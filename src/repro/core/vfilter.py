@@ -28,7 +28,7 @@ from ..xpath.transform import str_tokens
 from .nfa import AcceptEntry, PathNFA
 from .view import View
 
-__all__ = ["VFilter", "FilterResult"]
+__all__ = ["LayeredVFilter", "VFilter", "FilterResult"]
 
 
 @dataclass(slots=True)
@@ -234,6 +234,12 @@ class VFilter:
         """In-memory serialized size estimate of the automaton."""
         return self.nfa.stored_bytes()
 
+    def frozen(self) -> "LayeredVFilter":
+        """Wrap this filter as the base layer of an immutable
+        :class:`LayeredVFilter` (the caller promises not to call
+        :meth:`add_view` afterwards)."""
+        return LayeredVFilter(self)
+
     def save(self, store: KVStore, include_definitions: bool = True) -> int:
         """Persist the automaton into ``store`` (one record per state,
         as the paper stores VFILTER in Berkeley DB); returns the number
@@ -365,3 +371,118 @@ class VFilter:
                         vfilter._wc_max_length, path.length
                     )
         return vfilter
+
+
+class LayeredVFilter:
+    """An immutable stack of :class:`VFilter` layers: one frozen *base*
+    plus a tuple of single-view *deltas*.
+
+    The epoch-snapshot design (``core.system``) needs a filter that is
+    never mutated after an epoch is published — concurrent readers walk
+    the NFA while registrations land — yet cheap to extend: rebuilding a
+    1000-view automaton per ``register_view`` would make bulk loading
+    quadratic.  A layered filter gives both: registering a view wraps
+    the untouched base with one extra single-view layer (an O(|view|)
+    build), and the registration path collapses the stack back into a
+    fresh monolithic base once the delta tuple grows past a threshold,
+    keeping per-query overhead bounded.
+
+    Merging is exact: Algorithm 1's acceptance test is per view (every
+    path of ``D(V)`` must contain some query path, judged only against
+    that view's own paths), so filtering each layer independently and
+    concatenating yields the same candidate set as one monolithic
+    automaton.  Candidate order is base order followed by delta order —
+    i.e. global registration order, exactly what the monolithic filter
+    produces — and the per-path ``LIST(P_i)`` entries are merged and
+    re-sorted by ``(-length, view_id)``, the same deterministic key.
+    """
+
+    __slots__ = ("base", "deltas")
+
+    def __init__(
+        self, base: VFilter, deltas: tuple[VFilter, ...] = ()
+    ) -> None:
+        self.base = base
+        self.deltas = deltas
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, views: list[View], attribute_pruning: bool = True
+    ) -> "LayeredVFilter":
+        """A collapsed (single-layer) filter over ``views``."""
+        base = VFilter(attribute_pruning=attribute_pruning)
+        base.add_views(views)
+        return cls(base)
+
+    def with_view(self, view: View) -> "LayeredVFilter":
+        """A new filter extended by one view; ``self`` is untouched."""
+        delta = VFilter(attribute_pruning=self.attribute_pruning)
+        delta.add_view(view)
+        return LayeredVFilter(self.base, self.deltas + (delta,))
+
+    def collapsed(self) -> "LayeredVFilter":
+        """Rebuild as a single monolithic layer (same view order)."""
+        return self.build(self.views(), self.attribute_pruning)
+
+    # ------------------------------------------------------------------
+    # VFilter-compatible read API
+    # ------------------------------------------------------------------
+    @property
+    def attribute_pruning(self) -> bool:
+        return self.base.attribute_pruning
+
+    @property
+    def delta_count(self) -> int:
+        return len(self.deltas)
+
+    @property
+    def view_count(self) -> int:
+        return self.base.view_count + sum(
+            delta.view_count for delta in self.deltas
+        )
+
+    def view(self, view_id: str) -> View:
+        for layer in self._layers():
+            try:
+                return layer.view(view_id)
+            except KeyError:
+                continue
+        raise KeyError(view_id)
+
+    def views(self) -> list[View]:
+        collected: list[View] = []
+        for layer in self._layers():
+            collected.extend(layer.views())
+        return collected
+
+    def stored_bytes(self) -> int:
+        return sum(layer.stored_bytes() for layer in self._layers())
+
+    def _layers(self) -> tuple[VFilter, ...]:
+        return (self.base,) + self.deltas
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 over the stack
+    # ------------------------------------------------------------------
+    def filter(self, query: TreePattern) -> FilterResult:
+        """Run Algorithm 1 against every layer and merge (see class
+        docstring for why the merge is exact)."""
+        base_result = self.base.filter(query)
+        if not self.deltas:
+            return base_result
+        results = [base_result]
+        results.extend(delta.filter(query) for delta in self.deltas)
+        candidates: list[str] = []
+        for result in results:
+            candidates.extend(result.candidates)
+        lists: dict[PathPattern, list[tuple[str, int]]] = {}
+        for path in base_result.query_paths:
+            merged: list[tuple[str, int]] = []
+            for result in results:
+                merged.extend(result.lists.get(path, ()))
+            merged.sort(key=lambda item: (-item[1], item[0]))
+            lists[path] = merged
+        return FilterResult(candidates, lists, base_result.query_paths)

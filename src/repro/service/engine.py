@@ -1,0 +1,115 @@
+"""Snapshot engine: concurrent reads over an epoch-published registry.
+
+:class:`~repro.core.system.MaterializedViewSystem` publishes every
+registry mutation as a fresh immutable :class:`RegistryEpoch`, so a
+reader that pins the current epoch once sees one consistent (views,
+VFILTER, plan cache) triple for the whole answer — registration never
+blocks readers and readers never block registration.
+
+The one operation snapshots cannot cover is **in-place document
+maintenance** (:class:`repro.core.maintenance.DocumentEditor` mutates
+the shared base document and its codes directly).  For that the engine
+keeps a readers/writer gate: ``answer`` and ``register_view`` enter as
+shared participants, ``maintain`` waits until every in-flight
+participant drains, runs with exclusive access, and then reopens the
+gate.  Maintenance requests also *bar the door* — new participants
+queue behind a waiting maintainer so a steady read stream cannot
+starve it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, TypeVar
+
+from ..core.system import AnswerOutcome, MaterializedViewSystem
+from ..xpath.pattern import TreePattern
+
+__all__ = ["SnapshotEngine"]
+
+T = TypeVar("T")
+
+
+class SnapshotEngine:
+    """Thread-safe facade over one :class:`MaterializedViewSystem`."""
+
+    def __init__(self, system: MaterializedViewSystem) -> None:
+        self._system = system
+        self._gate = threading.Condition(threading.Lock())
+        self._active = 0
+        self._maintenance_waiting = 0
+        self._maintaining = False
+
+    # ------------------------------------------------------------------
+    # shared-side gate
+    # ------------------------------------------------------------------
+    def _enter_shared(self) -> None:
+        with self._gate:
+            while self._maintaining or self._maintenance_waiting:
+                self._gate.wait()
+            self._active += 1
+
+    def _exit_shared(self) -> None:
+        with self._gate:
+            self._active -= 1
+            if self._active == 0:
+                self._gate.notify_all()
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+    @property
+    def system(self) -> MaterializedViewSystem:
+        return self._system
+
+    def answer(
+        self, query: str | TreePattern, strategy: str = "HV"
+    ) -> AnswerOutcome:
+        """Answer ``query`` against the epoch current at call time.
+
+        The underlying system pins the epoch on entry; the outcome's
+        ``epoch_seq`` records which registry state served it (the
+        linearization point used by the concurrency tests).
+        """
+        self._enter_shared()
+        try:
+            return self._system.answer(query, strategy)
+        finally:
+            self._exit_shared()
+
+    def register_view(
+        self, view_id: str, expression: str | TreePattern
+    ) -> bool:
+        """Register and materialize a view; concurrent answers keep
+        reading their pinned epochs and are never blocked."""
+        self._enter_shared()
+        try:
+            return self._system.register_view(view_id, expression)
+        finally:
+            self._exit_shared()
+
+    def maintain(
+        self, operation: Callable[[MaterializedViewSystem], T]
+    ) -> T:
+        """Run ``operation`` with exclusive access to the system.
+
+        Waits for in-flight answers/registrations to drain (new ones
+        queue behind us), then calls ``operation(system)`` — typically
+        a :class:`~repro.core.maintenance.DocumentEditor` update.
+        """
+        with self._gate:
+            self._maintenance_waiting += 1
+            while self._maintaining or self._active:
+                self._gate.wait()
+            self._maintenance_waiting -= 1
+            self._maintaining = True
+        try:
+            return operation(self._system)
+        finally:
+            with self._gate:
+                self._maintaining = False
+                self._gate.notify_all()
+
+    def stats(self) -> dict[str, object]:
+        """Deep-snapshot statistics of the underlying system."""
+        return self._system.stats()

@@ -1,0 +1,139 @@
+"""Wire protocol: JSON request parsing, response encoding, error maps.
+
+Kept separate from the HTTP server so the in-process load driver and
+the tests can exercise exactly the encoding the server ships, without
+sockets.  Status mapping:
+
+========================================  ======
+:class:`ProtocolError` (malformed body)   400
+:class:`~repro.errors.XPathSyntaxError`   400
+:class:`~repro.errors.PatternError`       400
+duplicate view id (``ValueError``)        409
+``ViewNotAnswerableError``                422
+:class:`AdmissionRejectedError`           503 (+ ``Retry-After``)
+:class:`DeadlineExceededError`            504
+any other :class:`~repro.errors.ReproError`  500
+========================================  ======
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.system import AnswerOutcome
+from ..errors import (
+    PatternError,
+    ReproError,
+    ViewNotAnswerableError,
+    XPathSyntaxError,
+)
+from ..xmltree.dewey import format_code
+from .scheduler import AdmissionRejectedError, DeadlineExceededError
+
+__all__ = [
+    "ProtocolError",
+    "encode_outcome",
+    "error_payload",
+    "parse_query_request",
+    "parse_register_request",
+]
+
+_STRATEGIES = ("HV", "MV", "MN", "CB")
+
+
+class ProtocolError(ReproError):
+    """A request the protocol layer rejects before touching the engine."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _parse_json_object(raw: bytes) -> dict[str, Any]:
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"request body is not JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return payload
+
+
+def _required_string(payload: dict[str, Any], field: str) -> str:
+    value = payload.get(field)
+    if not isinstance(value, str) or not value.strip():
+        raise ProtocolError(f"field {field!r} must be a non-empty string")
+    return value.strip()
+
+
+def parse_query_request(raw: bytes) -> tuple[str, str, float | None]:
+    """``{"query": ..., "strategy"?: ..., "timeout_ms"?: ...}`` →
+    (query, strategy, timeout seconds or None)."""
+    payload = _parse_json_object(raw)
+    query = _required_string(payload, "query")
+    strategy = payload.get("strategy", "HV")
+    if strategy not in _STRATEGIES:
+        raise ProtocolError(
+            f"unknown strategy {strategy!r}; use one of {_STRATEGIES}"
+        )
+    timeout_ms = payload.get("timeout_ms")
+    timeout: float | None = None
+    if timeout_ms is not None:
+        if not isinstance(timeout_ms, (int, float)) or timeout_ms <= 0:
+            raise ProtocolError("timeout_ms must be a positive number")
+        timeout = float(timeout_ms) / 1e3
+    return query, strategy, timeout
+
+
+def parse_register_request(raw: bytes) -> tuple[str, str]:
+    """``{"view_id": ..., "expression": ...}`` → (view_id, expression)."""
+    payload = _parse_json_object(raw)
+    return (
+        _required_string(payload, "view_id"),
+        _required_string(payload, "expression"),
+    )
+
+
+def encode_outcome(outcome: AnswerOutcome) -> dict[str, Any]:
+    """JSON-safe rendering of an answer (codes as dotted strings)."""
+    return {
+        "codes": [format_code(code) for code in outcome.codes],
+        "count": len(outcome.codes),
+        "strategy": outcome.strategy,
+        "views": outcome.view_ids,
+        "plan_cache_hit": outcome.plan_cache_hit,
+        "epoch": outcome.epoch_seq,
+        "elapsed_ms": outcome.total_seconds * 1e3,
+    }
+
+
+def error_payload(
+    error: BaseException,
+) -> tuple[int, dict[str, Any], dict[str, str]]:
+    """(HTTP status, JSON body, extra headers) for a failure."""
+    headers: dict[str, str] = {}
+    body: dict[str, Any] = {
+        "error": type(error).__name__,
+        "message": str(error),
+    }
+    if isinstance(error, ProtocolError):
+        status = error.status
+    elif isinstance(error, (XPathSyntaxError, PatternError)):
+        status = 400
+    elif isinstance(error, ViewNotAnswerableError):
+        status = 422
+        body["uncovered"] = sorted(
+            str(obligation) for obligation in error.uncovered
+        )
+    elif isinstance(error, AdmissionRejectedError):
+        status = 503
+        headers["Retry-After"] = f"{error.retry_after:.3f}"
+        body["retry_after"] = error.retry_after
+    elif isinstance(error, DeadlineExceededError):
+        status = 504
+    elif isinstance(error, ValueError) and "duplicate view id" in str(error):
+        status = 409
+    else:
+        status = 500
+    return status, body, headers

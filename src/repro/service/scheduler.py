@@ -1,0 +1,307 @@
+"""Admission control, deadlines and request coalescing.
+
+:class:`QueryScheduler` owns a pool of worker threads draining a
+*bounded* queue.  Three service-level policies live here:
+
+* **Backpressure** — when the queue is full, ``submit`` fails fast
+  with :class:`AdmissionRejectedError` carrying a ``retry_after`` hint
+  (an EWMA of recent service time scaled by queue depth), instead of
+  letting latency grow without bound.
+* **Deadlines** — every request carries a monotonic deadline.  A
+  waiter that times out raises :class:`DeadlineExceededError`; a
+  request whose whole flight expired while still queued is dropped by
+  the worker without being evaluated (its waiters see the same error).
+* **Coalescing** — concurrent requests for the same
+  ``(canonical query, strategy)`` key fold into one *flight*: a single
+  derivation/evaluation fans its outcome out to every waiter.  Each
+  waiter receives its own shallow copy (callers mutate ``codes``), and
+  replayed :class:`ViewNotAnswerableError` failures are re-raised as
+  fresh instances so tracebacks are not shared across threads.
+
+The scheduler never interprets results — correctness is entirely the
+engine's business; this layer only decides *when* and *once*.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from ..core.system import AnswerOutcome
+from ..errors import ReproError, ViewNotAnswerableError
+from ..xpath.parser import parse_xpath
+from ..xpath.pattern import TreePattern
+from .engine import SnapshotEngine
+
+__all__ = [
+    "AdmissionRejectedError",
+    "DeadlineExceededError",
+    "QueryScheduler",
+]
+
+#: EWMA smoothing for observed service time (higher = more history).
+_EWMA_KEEP = 0.8
+#: Optimistic prior for the first retry-after estimate, seconds.
+_EWMA_PRIOR = 0.005
+
+
+class AdmissionRejectedError(ReproError):
+    """The bounded admission queue is full; retry after a backoff.
+
+    ``retry_after`` is the scheduler's estimate (seconds) of when a
+    slot is likely to be free: EWMA service time scaled by the number
+    of requests ahead of the rejected one.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ReproError):
+    """The request was not served within its deadline."""
+
+
+def _copy_outcome(outcome: AnswerOutcome) -> AnswerOutcome:
+    """Per-waiter copy of a fanned-out outcome.  Mutable containers
+    (``codes``, ``candidates``, ``stage_seconds``) are copied; the
+    immutable-in-practice intermediate artifacts are shared."""
+    return AnswerOutcome(
+        codes=list(outcome.codes),
+        strategy=outcome.strategy,
+        selection=outcome.selection,
+        rewrite_result=outcome.rewrite_result,
+        filter_result=outcome.filter_result,
+        lookup_seconds=outcome.lookup_seconds,
+        total_seconds=outcome.total_seconds,
+        candidates=list(outcome.candidates),
+        plan_cache_hit=outcome.plan_cache_hit,
+        stage_seconds=dict(outcome.stage_seconds),
+        epoch_seq=outcome.epoch_seq,
+    )
+
+
+def _copy_error(error: BaseException) -> BaseException:
+    if isinstance(error, ViewNotAnswerableError):
+        return ViewNotAnswerableError(
+            str(error), uncovered=error.uncovered
+        )
+    if isinstance(error, DeadlineExceededError):
+        return DeadlineExceededError(str(error))
+    return error
+
+
+class _Flight:
+    """One coalesced unit of work plus its fan-out latch."""
+
+    __slots__ = ("key", "pattern", "strategy", "deadline", "done",
+                 "outcome", "error", "waiters")
+
+    def __init__(
+        self,
+        key: tuple[str, str],
+        pattern: TreePattern,
+        strategy: str,
+        deadline: float,
+    ) -> None:
+        self.key = key
+        self.pattern = pattern
+        self.strategy = strategy
+        self.deadline = deadline
+        self.done = threading.Event()
+        self.outcome: AnswerOutcome | None = None
+        self.error: BaseException | None = None
+        self.waiters = 1
+
+
+class QueryScheduler:
+    """Bounded worker pool with coalescing over a snapshot engine."""
+
+    def __init__(
+        self,
+        engine: SnapshotEngine,
+        workers: int = 4,
+        queue_limit: int = 64,
+        default_timeout: float = 10.0,
+        coalesce: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._engine = engine
+        self._default_timeout = default_timeout
+        self._coalesce = coalesce
+        self._queue: queue.Queue[_Flight | None] = queue.Queue(
+            maxsize=max(1, queue_limit)
+        )
+        self._lock = threading.Lock()
+        self._flights: dict[tuple[str, str], _Flight] = {}
+        self._ewma = _EWMA_PRIOR
+        self._closed = False
+        self._counters = {
+            "submitted": 0,
+            "coalesced": 0,
+            "completed": 0,
+            "failed": 0,
+            "rejected": 0,
+            "expired": 0,
+        }
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-query-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: str | TreePattern,
+        strategy: str = "HV",
+        timeout: float | None = None,
+    ) -> AnswerOutcome:
+        """Answer ``query`` through the pool, blocking the caller.
+
+        Parses (and so syntax-validates) the query in the calling
+        thread before admission, then either joins an in-flight
+        request with the same canonical key or enqueues a new flight.
+        """
+        pattern = (
+            query if isinstance(query, TreePattern) else parse_xpath(query)
+        )
+        budget = self._default_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        key = (pattern.canonical_string(), strategy)
+
+        leader = False
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._counters["submitted"] += 1
+            flight = self._flights.get(key) if self._coalesce else None
+            if flight is not None:
+                flight.waiters += 1
+                # The flight serves the furthest-out waiter; joiners
+                # must not inherit an earlier leader's tighter budget.
+                flight.deadline = max(flight.deadline, deadline)
+                self._counters["coalesced"] += 1
+            else:
+                flight = _Flight(key, pattern, strategy, deadline)
+                leader = True
+                if self._coalesce:
+                    self._flights[key] = flight
+
+        if leader:
+            try:
+                self._queue.put_nowait(flight)
+            except queue.Full:
+                with self._lock:
+                    if self._flights.get(key) is flight:
+                        del self._flights[key]
+                    self._counters["rejected"] += 1
+                    retry_after = self._retry_after_locked()
+                raise AdmissionRejectedError(
+                    f"admission queue full ({self._queue.maxsize} "
+                    f"deep); retry after {retry_after:.3f}s",
+                    retry_after=retry_after,
+                ) from None
+
+        remaining = deadline - time.monotonic()
+        if not flight.done.wait(timeout=max(0.0, remaining)):
+            raise DeadlineExceededError(
+                f"query not served within {budget:.3f}s"
+            )
+        if flight.error is not None:
+            raise _copy_error(flight.error)
+        assert flight.outcome is not None
+        return _copy_outcome(flight.outcome)
+
+    def stats(self) -> dict[str, object]:
+        """Counter snapshot plus live queue depth."""
+        with self._lock:
+            snapshot: dict[str, object] = dict(self._counters)
+            snapshot["ewma_service_seconds"] = self._ewma
+            snapshot["in_flight"] = len(self._flights)
+        snapshot["queue_depth"] = self._queue.qsize()
+        snapshot["queue_limit"] = self._queue.maxsize
+        snapshot["workers"] = len(self._threads)
+        return snapshot
+
+    def close(self) -> None:
+        """Drain queued flights, stop the workers, reject new work."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _retry_after_locked(self) -> float:
+        depth = self._queue.qsize() + 1
+        return max(0.01, self._ewma * depth / len(self._threads))
+
+    def _worker(self) -> None:
+        while True:
+            flight = self._queue.get()
+            if flight is None:
+                return
+            if time.monotonic() >= flight.deadline:
+                with self._lock:
+                    self._counters["expired"] += 1
+                self._finish(
+                    flight,
+                    error=DeadlineExceededError(
+                        "request expired while queued"
+                    ),
+                )
+                continue
+            started = time.monotonic()
+            try:
+                outcome = self._engine.answer(
+                    flight.pattern, flight.strategy
+                )
+            except BaseException as error:
+                self._finish(flight, error=error)
+            else:
+                elapsed = time.monotonic() - started
+                with self._lock:
+                    self._ewma = (
+                        _EWMA_KEEP * self._ewma
+                        + (1.0 - _EWMA_KEEP) * elapsed
+                    )
+                self._finish(flight, outcome=outcome)
+
+    def _finish(
+        self,
+        flight: _Flight,
+        outcome: AnswerOutcome | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        flight.outcome = outcome
+        flight.error = error
+        with self._lock:
+            # Unpublish before waking waiters so a new arrival starts a
+            # fresh flight rather than joining a finished one.
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+            if error is None:
+                self._counters["completed"] += 1
+            else:
+                self._counters["failed"] += 1
+        flight.done.set()

@@ -1,0 +1,188 @@
+"""Stdlib-only HTTP/JSON front end: ``python -m repro serve``.
+
+Endpoints:
+
+* ``POST /query``    — ``{"query", "strategy"?, "timeout_ms"?}`` →
+  answer codes via the scheduler (admission control + coalescing).
+* ``POST /register`` — ``{"view_id", "expression"}`` → 201 on
+  success, 409 on a duplicate id.
+* ``GET /stats``     — engine + scheduler counter snapshot.
+* ``GET /healthz``   — liveness plus the current epoch sequence.
+
+The handler delegates every status decision to
+:func:`repro.service.protocol.error_payload`, so the HTTP layer stays
+a thin socket adapter that tests can bypass entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .engine import SnapshotEngine
+from .protocol import (
+    ProtocolError,
+    encode_outcome,
+    error_payload,
+    parse_query_request,
+    parse_register_request,
+)
+from .scheduler import QueryScheduler
+
+__all__ = ["QueryServiceServer"]
+
+#: Request bodies past this size are rejected before reading (413).
+_MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1.0"
+    #: Injected by :class:`QueryServiceServer` via subclassing.
+    service: "QueryServiceServer"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.service.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(
+        self,
+        status: int,
+        body: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_error(self, error: BaseException) -> None:
+        status, body, headers = error_payload(error)
+        self._send_json(status, body, headers)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise ProtocolError("request body too large", status=413)
+        return self.rfile.read(length)
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:
+        try:
+            raw = self._read_body()
+            if self.path == "/query":
+                query, strategy, timeout = parse_query_request(raw)
+                outcome = self.service.scheduler.submit(
+                    query, strategy, timeout=timeout
+                )
+                self._send_json(200, encode_outcome(outcome))
+            elif self.path == "/register":
+                view_id, expression = parse_register_request(raw)
+                fits = self.service.engine.register_view(
+                    view_id, expression
+                )
+                self._send_json(
+                    201, {"view_id": view_id, "materialized": fits}
+                )
+            else:
+                self._send_json(404, {"error": "NotFound",
+                                      "message": self.path})
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except BaseException as error:
+            self._send_error(error)
+
+    def do_GET(self) -> None:
+        try:
+            if self.path == "/stats":
+                self._send_json(
+                    200,
+                    {
+                        "engine": self.service.engine.stats(),
+                        "scheduler": self.service.scheduler.stats(),
+                    },
+                )
+            elif self.path == "/healthz":
+                epoch = self.service.engine.system.current_epoch()
+                self._send_json(
+                    200, {"status": "ok", "epoch": epoch.seq}
+                )
+            else:
+                self._send_json(404, {"error": "NotFound",
+                                      "message": self.path})
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except BaseException as error:
+            self._send_error(error)
+
+
+class QueryServiceServer:
+    """Owns the listening socket; start/serve/shutdown lifecycle."""
+
+    def __init__(
+        self,
+        engine: SnapshotEngine,
+        scheduler: QueryScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.scheduler = scheduler
+        self.verbose = verbose
+        service = self
+
+        class _BoundHandler(_Handler):
+            pass
+
+        _BoundHandler.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _BoundHandler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, bound port) — the port is concrete even when 0 was
+        requested (ephemeral bind)."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> None:
+        """Serve in a daemon thread (tests / smoke mode)."""
+        thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-http",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until ``shutdown``/interrupt."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting, join the serve thread, close the socket and
+        the scheduler's worker pool."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+        self.scheduler.close()
+
+    def __enter__(self) -> "QueryServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

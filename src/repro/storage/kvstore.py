@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from typing import Iterator
 
@@ -43,10 +44,18 @@ class KVStore:
 
     Use as a context manager or call :meth:`close` explicitly.  All
     operations are synchronous; :meth:`flush` forces data to the OS.
+
+    Thread-safe: the file-backed mode shares one OS handle between the
+    append path (seek-to-end + write) and the read path (seek-to-offset
+    + read), so racing writers could tear a record mid-log and racing
+    readers could read from a writer's offset.  A re-entrant lock
+    serialises every operation; the in-memory mode takes the same lock
+    so ``stored_bytes`` accounting stays consistent under concurrency.
     """
 
     def __init__(self, path: str | None = None):
         self.path = path
+        self._lock = threading.RLock()
         self._index: dict[bytes, tuple[int, int]] = {}  # key -> (offset, vlen)
         self._live_bytes = 0
         self._handle = None
@@ -64,9 +73,10 @@ class KVStore:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "KVStore":
         return self
@@ -150,71 +160,79 @@ class KVStore:
     # ------------------------------------------------------------------
     def put(self, key: bytes, value: bytes) -> None:
         """Insert or overwrite ``key``."""
-        if self.in_memory:
-            previous = self._memory.get(key)
+        with self._lock:
+            if self.in_memory:
+                previous = self._memory.get(key)
+                if previous is not None:
+                    self._live_bytes -= len(previous) + len(key)
+                self._memory[key] = value
+                self._live_bytes += len(value) + len(key)
+                return
+            assert self._handle is not None
+            record = self._frame(_FLAG_PUT, key, value)
+            self._handle.seek(0, os.SEEK_END)
+            offset = self._handle.tell()
+            self._handle.write(record)
+            self._length = offset + len(record)
+            previous = self._index.get(key)
             if previous is not None:
-                self._live_bytes -= len(previous) + len(key)
-            self._memory[key] = value
+                self._live_bytes -= previous[1] + len(key)
+            value_offset = offset + len(record) - len(value)
+            self._index[key] = (value_offset, len(value))
             self._live_bytes += len(value) + len(key)
-            return
-        assert self._handle is not None
-        record = self._frame(_FLAG_PUT, key, value)
-        self._handle.seek(0, os.SEEK_END)
-        offset = self._handle.tell()
-        self._handle.write(record)
-        self._length = offset + len(record)
-        previous = self._index.get(key)
-        if previous is not None:
-            self._live_bytes -= previous[1] + len(key)
-        value_offset = offset + len(record) - len(value)
-        self._index[key] = (value_offset, len(value))
-        self._live_bytes += len(value) + len(key)
 
     def get(self, key: bytes) -> bytes | None:
         """Return the value for ``key`` or ``None``."""
-        if self.in_memory:
-            return self._memory.get(key)
-        entry = self._index.get(key)
-        if entry is None:
-            return None
-        assert self._handle is not None
-        offset, length = entry
-        self._handle.seek(offset)
-        value = self._handle.read(length)
-        if len(value) != length:
-            raise StorageCorruptionError(f"short read for key {key!r}")
-        return value
+        with self._lock:
+            if self.in_memory:
+                return self._memory.get(key)
+            entry = self._index.get(key)
+            if entry is None:
+                return None
+            assert self._handle is not None
+            offset, length = entry
+            self._handle.seek(offset)
+            value = self._handle.read(length)
+            if len(value) != length:
+                raise StorageCorruptionError(f"short read for key {key!r}")
+            return value
 
     def delete(self, key: bytes) -> bool:
         """Remove ``key``; returns True when it existed."""
-        if self.in_memory:
-            previous = self._memory.pop(key, None)
-            if previous is not None:
-                self._live_bytes -= len(previous) + len(key)
-            return previous is not None
-        if key not in self._index:
-            return False
-        assert self._handle is not None
-        record = self._frame(_FLAG_DEL, key, b"")
-        self._handle.seek(0, os.SEEK_END)
-        self._handle.write(record)
-        self._length = self._handle.tell()
-        previous = self._index.pop(key)
-        self._live_bytes -= previous[1] + len(key)
-        return True
+        with self._lock:
+            if self.in_memory:
+                previous = self._memory.pop(key, None)
+                if previous is not None:
+                    self._live_bytes -= len(previous) + len(key)
+                return previous is not None
+            if key not in self._index:
+                return False
+            assert self._handle is not None
+            record = self._frame(_FLAG_DEL, key, b"")
+            self._handle.seek(0, os.SEEK_END)
+            self._handle.write(record)
+            self._length = self._handle.tell()
+            previous = self._index.pop(key)
+            self._live_bytes -= previous[1] + len(key)
+            return True
 
     def __contains__(self, key: bytes) -> bool:
-        if self.in_memory:
-            return key in self._memory
-        return key in self._index
+        with self._lock:
+            if self.in_memory:
+                return key in self._memory
+            return key in self._index
 
     def __len__(self) -> int:
-        return len(self._memory) if self.in_memory else len(self._index)
+        with self._lock:
+            return len(self._memory) if self.in_memory else len(self._index)
 
     def keys(self) -> Iterator[bytes]:
-        """Iterate over live keys (insertion order for in-memory)."""
-        source = self._memory if self.in_memory else self._index
-        yield from list(source.keys())
+        """Iterate over live keys (insertion order for in-memory);
+        snapshots the key set, so mutation during iteration is safe."""
+        with self._lock:
+            source = self._memory if self.in_memory else self._index
+            snapshot = list(source.keys())
+        yield from snapshot
 
     def scan_prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
         """Yield ``(key, value)`` for every key starting with ``prefix``."""
@@ -225,8 +243,9 @@ class KVStore:
                 yield key, value
 
     def flush(self) -> None:
-        if self._handle is not None:
-            self._handle.flush()
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
 
     # ------------------------------------------------------------------
     # sizing / maintenance
@@ -245,19 +264,20 @@ class KVStore:
 
     def compact(self) -> None:
         """Rewrite the log keeping only live records."""
-        if self.in_memory:
-            return
-        assert self.path is not None and self._handle is not None
-        temp_path = self.path + ".compact"
-        entries = [(key, self.get(key)) for key in self.keys()]
-        with open(temp_path, "wb") as temp:
-            for key, value in entries:
-                assert value is not None
-                temp.write(self._frame(_FLAG_PUT, key, value))
-        self._handle.close()
-        os.replace(temp_path, self.path)
-        self._handle = open(self.path, "a+b")
-        self._index.clear()
-        self._live_bytes = 0
-        self._recover()
-        self._length = self._handle.seek(0, os.SEEK_END)
+        with self._lock:
+            if self.in_memory:
+                return
+            assert self.path is not None and self._handle is not None
+            temp_path = self.path + ".compact"
+            entries = [(key, self.get(key)) for key in self.keys()]
+            with open(temp_path, "wb") as temp:
+                for key, value in entries:
+                    assert value is not None
+                    temp.write(self._frame(_FLAG_PUT, key, value))
+            self._handle.close()
+            os.replace(temp_path, self.path)
+            self._handle = open(self.path, "a+b")
+            self._index.clear()
+            self._live_bytes = 0
+            self._recover()
+            self._length = self._handle.seek(0, os.SEEK_END)

@@ -24,12 +24,14 @@ from hypothesis import strategies as st
 from conftest import random_pattern, random_tree
 from repro.analysis import contracts
 from repro.analysis.contracts import ContractViolation
+from repro.core.maintenance import DocumentEditor
 from repro.core.selection import Selection
 from repro.core.system import MaterializedViewSystem
 from repro.core.vfilter import FilterResult
 from repro.core.view import View
 from repro.errors import ViewNotAnswerableError
 from repro.xmltree.builder import encode_tree
+from repro.xmltree.tree import XMLNode, build_tree
 from repro.xpath.parser import parse_xpath
 
 STRATEGIES = ("HV", "MV", "MN", "CB")
@@ -161,17 +163,44 @@ def _small_system(cls):
     return cls(encode_tree(tree))
 
 
+def _stale_plan_via_maintenance(cls):
+    """Answer once (caching a plan), then insert a matching subtree
+    through the editor.  With a broken ``_invalidate_plans`` the cached
+    pre-insert plan survives the in-place document mutation."""
+    doc = encode_tree(build_tree(("b", ["t", ("s", ["t", "p"])])))
+    system = cls(doc)
+    system.register_view("vp", "//s/p")
+    first = system.answer("//s/p", "HV")
+    editor = DocumentEditor(system)
+    section = XMLNode("s")
+    section.new_child("t")
+    section.new_child("p")
+    editor.insert_subtree(system.document.tree.root.dewey, section)
+    return system, first
+
+
 def test_noop_invalidation_caught_by_plan_consistency():
+    # Registration cannot leave a stale plan any more — every published
+    # epoch starts with a fresh plan cache — so the bug class L1 guards
+    # against is in-place document maintenance forgetting to
+    # invalidate.  Inject exactly that; the sampled warm-path
+    # consistency check catches the pre-insert plan.
+    system, _ = _stale_plan_via_maintenance(_BrokenInvalidation)
+    with pytest.raises(ContractViolation, match="stale plan entry"):
+        system.answer("//s/p", "HV")
+
+
+def test_registration_is_structurally_invalidating():
+    # The epoch design makes register_view immune to a broken
+    # _invalidate_plans: the cached negative plan below dies with its
+    # epoch, so the post-registration answer is correct even though the
+    # invalidation hook is a no-op.
     system = _small_system(_BrokenInvalidation)
-    query = "//a"
-    # Cold miss: nothing answers //a yet; the failure is cached.
     with pytest.raises(ViewNotAnswerableError):
-        system.answer(query, "HV")
-    # This registration *should* drop the cached negative plan, but the
-    # mutated _invalidate_plans leaves it in place.
+        system.answer("//a", "HV")
     system.register_view("va", "//a")
-    with pytest.raises(ContractViolation, match="stale negative"):
-        system.answer(query, "HV")
+    outcome = system.answer("//a", "HV")
+    assert outcome.codes == system.direct_codes("//a")
 
 
 def test_healthy_system_not_flagged():
@@ -191,9 +220,8 @@ def test_mutation_detection_requires_sampling(monkeypatch):
     # With checks disabled the stale plan is silently replayed — the
     # contract layer, not luck, is what catches the mutation above.
     monkeypatch.setenv("XMVR_CHECK", "0")
-    system = _small_system(_BrokenInvalidation)
-    with pytest.raises(ViewNotAnswerableError):
-        system.answer("//a", "HV")
-    system.register_view("va", "//a")
-    with pytest.raises(ViewNotAnswerableError):
-        system.answer("//a", "HV")
+    system, first = _stale_plan_via_maintenance(_BrokenInvalidation)
+    stale = system.answer("//s/p", "HV")
+    assert stale.plan_cache_hit
+    assert stale.codes == first.codes  # the pre-insert answer
+    assert stale.codes != system.direct_codes("//s/p")

@@ -1,0 +1,226 @@
+"""Admission control, deadlines and coalescing (repro.service.scheduler).
+
+The engine is replaced by a controllable fake so the tests can park
+the worker pool on a latch and observe exactly how the scheduler
+behaves with a full queue, an expired deadline, or a burst of
+identical requests — without any timing-sensitive sleeps deciding
+pass/fail.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.system import AnswerOutcome
+from repro.errors import ViewNotAnswerableError, XPathSyntaxError
+from repro.service import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    QueryScheduler,
+)
+
+
+class _FakeEngine:
+    """Answers ``//slow`` only after ``release`` is set; counts calls
+    per canonical query so coalescing is directly observable."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.slow_entered = threading.Event()
+        self.calls: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def answer(self, pattern, strategy="HV"):
+        key = pattern.canonical_string()
+        with self._lock:
+            self.calls[key] = self.calls.get(key, 0) + 1
+        if "slow" in key:
+            self.slow_entered.set()
+            assert self.release.wait(timeout=10.0)
+        if "missing" in key:
+            raise ViewNotAnswerableError(
+                "no view covers it", uncovered=frozenset({"missing"})
+            )
+        return AnswerOutcome(
+            codes=[(1, 2), (1, 3)], strategy=strategy, epoch_seq=7
+        )
+
+
+@pytest.fixture
+def engine():
+    fake = _FakeEngine()
+    yield fake
+    fake.release.set()  # never leave a worker parked
+
+
+def _park_worker(scheduler, engine):
+    """Occupy the single worker with a slow flight; returns its thread."""
+    thread = threading.Thread(
+        target=lambda: scheduler.submit("//slow", timeout=30.0)
+    )
+    thread.start()
+    assert engine.slow_entered.wait(timeout=5.0)
+    return thread
+
+
+def test_coalescing_single_execution_fans_out(engine):
+    scheduler = QueryScheduler(engine, workers=1, queue_limit=8)
+    try:
+        parked = _park_worker(scheduler, engine)
+        results: list[AnswerOutcome] = []
+        lock = threading.Lock()
+
+        def submit() -> None:
+            outcome = scheduler.submit("//a/b", timeout=30.0)
+            with lock:
+                results.append(outcome)
+
+        waiters = [threading.Thread(target=submit) for _ in range(4)]
+        for thread in waiters:
+            thread.start()
+        # All four must be registered on one flight before release.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if scheduler.stats()["coalesced"] == 3:
+                break
+            time.sleep(0.01)
+        assert scheduler.stats()["coalesced"] == 3
+        engine.release.set()
+        for thread in waiters:
+            thread.join(timeout=10.0)
+        parked.join(timeout=10.0)
+
+        assert len(results) == 4
+        # One evaluation served all four waiters...
+        slow_key = [key for key in engine.calls if "slow" in key]
+        fast_keys = [key for key in engine.calls if "slow" not in key]
+        assert len(fast_keys) == 1 and engine.calls[fast_keys[0]] == 1
+        assert len(slow_key) == 1
+        # ...and every waiter owns an independent copy.
+        identities = {id(outcome) for outcome in results}
+        assert len(identities) == 4
+        results[0].codes.append((9,))
+        assert all(outcome.codes == [(1, 2), (1, 3)]
+                   for outcome in results[1:])
+        assert all(outcome.epoch_seq == 7 for outcome in results)
+    finally:
+        engine.release.set()
+        scheduler.close()
+
+
+def test_admission_rejects_when_queue_full(engine):
+    scheduler = QueryScheduler(engine, workers=1, queue_limit=1)
+    try:
+        parked = _park_worker(scheduler, engine)
+        # Fills the single queue slot.
+        filler = threading.Thread(
+            target=lambda: scheduler.submit("//a", timeout=30.0)
+        )
+        filler.start()
+        deadline = time.monotonic() + 5.0
+        while scheduler.stats()["queue_depth"] < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        with pytest.raises(AdmissionRejectedError) as excinfo:
+            scheduler.submit("//b", timeout=30.0)
+        assert excinfo.value.retry_after > 0
+        assert scheduler.stats()["rejected"] == 1
+        engine.release.set()
+        filler.join(timeout=10.0)
+        parked.join(timeout=10.0)
+        # The rejected flight was unpublished: a retry succeeds.
+        retry = scheduler.submit("//b", timeout=30.0)
+        assert retry.codes
+    finally:
+        engine.release.set()
+        scheduler.close()
+
+
+def test_waiter_deadline_expires_while_queued(engine):
+    scheduler = QueryScheduler(engine, workers=1, queue_limit=8)
+    try:
+        parked = _park_worker(scheduler, engine)
+        with pytest.raises(DeadlineExceededError):
+            scheduler.submit("//late", timeout=0.05)
+        engine.release.set()
+        parked.join(timeout=10.0)
+    finally:
+        engine.release.set()
+        scheduler.close()
+    # The worker dropped the expired flight without evaluating it, or
+    # evaluated it after the waiter left — either way the waiter saw
+    # a deadline error, and the scheduler accounted for the flight.
+    stats = scheduler.stats()
+    assert stats["expired"] + stats["completed"] >= 1
+
+
+def test_coalesced_failure_raises_fresh_instances(engine):
+    scheduler = QueryScheduler(engine, workers=1, queue_limit=8)
+    try:
+        parked = _park_worker(scheduler, engine)
+        raised: list[BaseException] = []
+        lock = threading.Lock()
+
+        def submit() -> None:
+            try:
+                scheduler.submit("//missing", timeout=30.0)
+            except ViewNotAnswerableError as error:
+                with lock:
+                    raised.append(error)
+
+        waiters = [threading.Thread(target=submit) for _ in range(3)]
+        for thread in waiters:
+            thread.start()
+        deadline = time.monotonic() + 5.0
+        while scheduler.stats()["coalesced"] < 2:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        engine.release.set()
+        for thread in waiters:
+            thread.join(timeout=10.0)
+        parked.join(timeout=10.0)
+
+        assert len(raised) == 3
+        assert len({id(error) for error in raised}) == 3
+        assert all(error.uncovered == frozenset({"missing"})
+                   for error in raised)
+    finally:
+        engine.release.set()
+        scheduler.close()
+
+
+def test_syntax_error_raised_in_caller_before_admission(engine):
+    scheduler = QueryScheduler(engine, workers=1, queue_limit=8)
+    try:
+        with pytest.raises(XPathSyntaxError):
+            scheduler.submit("not an xpath !!")
+        assert scheduler.stats()["submitted"] == 0
+    finally:
+        scheduler.close()
+
+
+def test_close_drains_and_rejects_new_work(engine):
+    scheduler = QueryScheduler(engine, workers=2, queue_limit=8)
+    outcome = scheduler.submit("//a")
+    assert outcome.codes
+    scheduler.close()
+    scheduler.close()  # idempotent
+    with pytest.raises(RuntimeError, match="closed"):
+        scheduler.submit("//a")
+
+
+def test_coalescing_can_be_disabled(engine):
+    scheduler = QueryScheduler(
+        engine, workers=2, queue_limit=8, coalesce=False
+    )
+    try:
+        for _ in range(3):
+            scheduler.submit("//a")
+        fast = [key for key in engine.calls if "slow" not in key]
+        assert engine.calls[fast[0]] == 3
+        assert scheduler.stats()["coalesced"] == 0
+    finally:
+        scheduler.close()

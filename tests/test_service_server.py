@@ -1,0 +1,199 @@
+"""HTTP front end and wire protocol (repro.service.server/protocol)."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.system import MaterializedViewSystem
+from repro.errors import ViewNotAnswerableError, XPathSyntaxError
+from repro.service import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    HTTPClient,
+    InProcessClient,
+    ProtocolError,
+    QueryScheduler,
+    QueryServiceServer,
+    SnapshotEngine,
+    error_payload,
+)
+from repro.service.protocol import (
+    parse_query_request,
+    parse_register_request,
+)
+from repro.workload.xmark import generate_xmark
+from repro.xmltree.builder import encode_tree
+
+
+# ----------------------------------------------------------------------
+# protocol unit tests (no sockets)
+# ----------------------------------------------------------------------
+def test_parse_query_request_defaults_and_timeout():
+    query, strategy, timeout = parse_query_request(
+        json.dumps({"query": "//a/b"}).encode()
+    )
+    assert (query, strategy, timeout) == ("//a/b", "HV", None)
+    _, strategy, timeout = parse_query_request(
+        json.dumps({"query": "//a", "strategy": "MN",
+                    "timeout_ms": 250}).encode()
+    )
+    assert strategy == "MN"
+    assert timeout == pytest.approx(0.25)
+
+
+@pytest.mark.parametrize("raw", [
+    b"not json",
+    b"[]",
+    json.dumps({"query": ""}).encode(),
+    json.dumps({"query": "//a", "strategy": "XX"}).encode(),
+    json.dumps({"query": "//a", "timeout_ms": -5}).encode(),
+    json.dumps({"query": "//a", "timeout_ms": "soon"}).encode(),
+])
+def test_parse_query_request_rejects_bad_input(raw):
+    with pytest.raises(ProtocolError):
+        parse_query_request(raw)
+
+
+def test_parse_register_request():
+    view_id, expression = parse_register_request(
+        json.dumps({"view_id": "v1", "expression": "//a"}).encode()
+    )
+    assert (view_id, expression) == ("v1", "//a")
+    with pytest.raises(ProtocolError):
+        parse_register_request(json.dumps({"view_id": "v1"}).encode())
+
+
+@pytest.mark.parametrize("error,status", [
+    (ProtocolError("bad"), 400),
+    (ProtocolError("big", status=413), 413),
+    (XPathSyntaxError("nope"), 400),
+    (ViewNotAnswerableError("uncovered"), 422),
+    (ValueError("duplicate view id 'v1'"), 409),
+    (DeadlineExceededError("late"), 504),
+    (RuntimeError("boom"), 500),
+])
+def test_error_payload_status_mapping(error, status):
+    got_status, body, _ = error_payload(error)
+    assert got_status == status
+    assert body["error"] == type(error).__name__
+
+
+def test_error_payload_backpressure_carries_retry_after():
+    status, body, headers = error_payload(
+        AdmissionRejectedError("full", retry_after=0.125)
+    )
+    assert status == 503
+    assert headers["Retry-After"] == "0.125"
+    assert body["retry_after"] == pytest.approx(0.125)
+
+
+# ----------------------------------------------------------------------
+# live server round trips
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def served():
+    system = MaterializedViewSystem(
+        encode_tree(generate_xmark(scale=0.05, seed=3))
+    )
+    system.register_view("name", "//item/name")
+    engine = SnapshotEngine(system)
+    scheduler = QueryScheduler(engine, workers=2, queue_limit=16)
+    server = QueryServiceServer(engine, scheduler)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+
+
+def _call(server, method, path, body=None):
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        connection.request(method, path, payload,
+                           {"Content-Type": "application/json"})
+        response = connection.getresponse()
+        data = response.read()
+        return response.status, json.loads(data), dict(response.getheaders())
+    finally:
+        connection.close()
+
+
+def test_healthz_reports_epoch(served):
+    status, body, _ = _call(served, "GET", "/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["epoch"] >= 1
+
+
+def test_query_roundtrip_matches_direct_evaluation(served):
+    status, body, _ = _call(
+        served, "POST", "/query", {"query": "//item/name"}
+    )
+    assert status == 200
+    system = served.engine.system
+    from repro.xmltree.dewey import format_code
+
+    expected = [format_code(code)
+                for code in system.direct_codes("//item/name")]
+    assert body["codes"] == expected
+    assert body["views"] == ["name"]
+    assert body["epoch"] >= 1
+
+
+def test_query_error_statuses(served):
+    assert _call(served, "POST", "/query", {"query": "!!"})[0] == 400
+    assert _call(served, "POST", "/query", {"bad": 1})[0] == 400
+    status, body, _ = _call(
+        served, "POST", "/query", {"query": "//no/such"}
+    )
+    assert status == 422
+    assert body["error"] == "ViewNotAnswerableError"
+    assert _call(served, "GET", "/nope")[0] == 404
+    assert _call(served, "POST", "/nope")[0] == 404
+
+
+def test_register_then_duplicate(served):
+    status, body, _ = _call(
+        served, "POST", "/register",
+        {"view_id": "desc", "expression": "//item/description"},
+    )
+    assert (status, body["materialized"]) == (201, True)
+    assert _call(
+        served, "POST", "/register",
+        {"view_id": "desc", "expression": "//item/description"},
+    )[0] == 409
+    # The new view serves queries immediately.
+    status, body, _ = _call(
+        served, "POST", "/query", {"query": "//item/description"}
+    )
+    assert status == 200 and body["views"] == ["desc"]
+
+
+def test_stats_exposes_engine_and_scheduler(served):
+    status, body, _ = _call(served, "GET", "/stats")
+    assert status == 200
+    assert body["engine"]["views"]["registered"] >= 1
+    assert body["scheduler"]["workers"] == 2
+    assert "queue_depth" in body["scheduler"]
+
+
+def test_http_client_reports_statuses(served):
+    host, port = served.address
+    client = HTTPClient(host, port)
+    try:
+        assert client.query("//item/name") == 200
+        assert client.query("//no/such") == 422
+    finally:
+        client.close()
+
+
+def test_in_process_client_maps_errors(served):
+    client = InProcessClient(served.scheduler)
+    assert client.query("//item/name") == 200
+    assert client.query("//no/such") == 422
+    assert client.query("!!bad") == 400

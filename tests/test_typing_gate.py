@@ -34,7 +34,12 @@ RATCHET_BASELINE = {
 
 #: Modules that must never appear in the ratchet: the strict-clean core
 #: the gate exists to protect.
-ALWAYS_STRICT_PREFIXES = ("repro.core", "repro.xpath", "repro.analysis")
+ALWAYS_STRICT_PREFIXES = (
+    "repro.core",
+    "repro.xpath",
+    "repro.analysis",
+    "repro.service",
+)
 
 
 def _ratchet_entries() -> set[str]:
