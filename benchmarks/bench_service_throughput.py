@@ -36,10 +36,21 @@ Run as a script (writes ``BENCH_service.json`` at the repo root)::
     PYTHONPATH=src python benchmarks/bench_service_throughput.py
 
 Knobs: ``REPRO_BENCH_SCALE`` (default 1.0), ``REPRO_BENCH_SVC_VIEWS``
-(default 200), ``REPRO_BENCH_SVC_REQUESTS`` (default 2000 per cell).
-Under pytest a small configuration runs with correctness-oriented
-assertions (machine-dependent scaling numbers belong to the script
-run, which asserts the ≥3× acceptance bound).
+(default 200), ``REPRO_BENCH_SVC_REQUESTS`` (default 2000 per cell),
+``REPRO_BENCH_OUT`` (output path, default ``BENCH_service.json``),
+``REPRO_BENCH_BEFORE`` (path to a previous run's JSON; when set, its
+single-worker cells are embedded under ``before`` and per-mix cold
+p50/p99 speedups are computed).  Under pytest a small configuration
+runs with correctness-oriented assertions (machine-dependent scaling
+numbers belong to the script run, which asserts the ≥3× acceptance
+bound).
+
+Timing hygiene: every measurement uses ``time.perf_counter`` (the
+monotonic high-resolution clock; ``time.time`` is wall-clock and can
+step), and each grid cell drives ``WARMUP_REQUESTS`` unrecorded
+requests through the freshly built scheduler before the measured
+closed loop, so thread-pool spin-up and allocator warm-up never land
+in the first cell's percentiles.
 """
 
 from __future__ import annotations
@@ -67,6 +78,9 @@ ZIPF_EXPONENT = 1.1
 WORKER_GRID = (1, 4, 8)
 POOL_SIZE = 12
 CLIENTS_PER_WORKER = 8
+#: Unrecorded requests driven through each cell's scheduler before the
+#: measured closed loop (thread-pool + allocator warm-up).
+WARMUP_REQUESTS = 48
 
 
 def build_serving_system(env) -> MaterializedViewSystem:
@@ -109,6 +123,15 @@ def _measure_cell(
         default_timeout=120.0,
     )
     try:
+        warmup = run_closed_loop(
+            lambda: InProcessClient(scheduler),
+            pool,
+            total_requests=WARMUP_REQUESTS,
+            concurrency=concurrency,
+            weights=weights,
+            seed=seed + 1,
+        )
+        assert warmup.ok == warmup.requests, warmup.status_counts
         report = run_closed_loop(
             lambda: InProcessClient(scheduler),
             pool,
@@ -164,6 +187,7 @@ def run_grid(scale: float, view_count: int, requests: int, seed: int = 42):
             "requests_per_cell": requests,
             "zipf_exponent": ZIPF_EXPONENT,
             "clients_per_worker": CLIENTS_PER_WORKER,
+            "warmup_requests": WARMUP_REQUESTS,
             "plan_cache": "disabled (derivation-bound)",
             "seed": seed,
         },
@@ -190,18 +214,59 @@ def test_service_throughput_small():
     assert report["skewed_scaling_vs_single_worker"] >= 0.5
 
 
+def _attach_before(report: dict, before_path: str) -> None:
+    """Embed a previous run's single-worker cells and compute the
+    per-mix cold-path p50/p99 speedups (before ÷ after).  The
+    single-worker closed loop is pure serial request-response, so its
+    percentiles are the cold derivation latency."""
+    with open(before_path, "r", encoding="utf-8") as handle:
+        before = json.load(handle)
+
+    def single_worker(cells: list, mix: str) -> dict:
+        for cell in cells:
+            if cell["workers"] == 1 and cell["mix"] == mix:
+                return cell
+        raise KeyError(mix)
+
+    comparison: dict = {"before_config": before.get("config", {})}
+    for mix in ("uniform", "skewed"):
+        old = single_worker(before["cells"], mix)
+        new = single_worker(report["cells"], mix)
+        comparison[mix] = {
+            "before": {"p50_ms": old["p50_ms"], "p99_ms": old["p99_ms"]},
+            "after": {"p50_ms": new["p50_ms"], "p99_ms": new["p99_ms"]},
+            "p50_speedup": round(old["p50_ms"] / new["p50_ms"], 2),
+            "p99_speedup": round(old["p99_ms"] / new["p99_ms"], 2),
+        }
+    report["cold_path_before_after"] = comparison
+
+
 def main() -> int:
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
     view_count = int(os.environ.get("REPRO_BENCH_SVC_VIEWS", "200"))
     requests = int(os.environ.get("REPRO_BENCH_SVC_REQUESTS", "2000"))
+    out_path = os.environ.get("REPRO_BENCH_OUT", RESULT_PATH)
     report = run_grid(scale=scale, view_count=view_count, requests=requests)
-    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+    before_path = os.environ.get("REPRO_BENCH_BEFORE")
+    if before_path:
+        _attach_before(report, before_path)
+        for mix, data in report["cold_path_before_after"].items():
+            if mix == "before_config":
+                continue
+            print(f"cold path ({mix}, 1 worker): "
+                  f"p50 {data['before']['p50_ms']:.2f} → "
+                  f"{data['after']['p50_ms']:.2f} ms "
+                  f"({data['p50_speedup']}×), "
+                  f"p99 {data['before']['p99_ms']:.2f} → "
+                  f"{data['after']['p99_ms']:.2f} ms "
+                  f"({data['p99_speedup']}×)")
+    with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(json.dumps(report["config"], indent=2))
     print(f"skewed scaling {report['skewed_scaling_vs_single_worker']}x, "
           f"uniform scaling {report['uniform_scaling_vs_single_worker']}x")
-    print(f"wrote {RESULT_PATH}")
+    print(f"wrote {out_path}")
     # Acceptance: the skewed 8-worker cell serves at least 3× the
     # single-worker closed-loop baseline.
     assert report["skewed_scaling_vs_single_worker"] >= 3.0, report[

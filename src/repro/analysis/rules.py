@@ -789,6 +789,11 @@ def _l8_key_positions(call: CallRef) -> tuple[int, ...]:
             return (0,)
         if call.name == "units":
             return (1,)
+        if call.name == "evict_views":
+            # Carry-over eviction: the view-id set selects which cached
+            # entries survive an epoch; an impure producer would evict
+            # the wrong views (or keep stale ones).
+            return (0,)
     return ()
 
 

@@ -144,6 +144,8 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
               f"{report.throughput:.0f} q/s, "
               f"p50 {report.percentile(0.5):.2f} ms, "
               f"p99 {report.percentile(0.99):.2f} ms")
+        if arguments.profile:
+            _print_profile(system)
         if report.server_errors or report.ok != report.requests:
             print("smoke: FAILED", file=sys.stderr)
             return 2
@@ -160,6 +162,27 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     finally:
         server.shutdown()
     return 0
+
+
+#: Printing order for ``--profile``: the cold-path pipeline stages
+#: first (parse → vfilter → cover → selection → refine → join →
+#: extract), then the coarse lookup/rewrite roll-ups.
+_PROFILE_STAGES = (
+    "parse", "vfilter", "cover", "selection",
+    "refine", "join", "extract", "lookup", "rewrite",
+)
+
+
+def _print_profile(system: MaterializedViewSystem) -> None:
+    """Per-stage cumulative wall-clock times from the system stats."""
+    stage_seconds = system.stats()["stage_seconds"]
+    assert isinstance(stage_seconds, dict)
+    print("profile  : cumulative stage times (ms)")
+    for stage in _PROFILE_STAGES:
+        seconds = stage_seconds.get(stage)
+        if seconds is None:
+            continue
+        print(f"  {stage:<9} {seconds * 1e3:10.2f}")
 
 
 def _cmd_generate(arguments: argparse.Namespace) -> int:
@@ -209,6 +232,8 @@ def _cmd_answer(arguments: argparse.Namespace) -> int:
                 print(f"  {section}: {rendered}")
             else:
                 print(f"  {section}: {values}")
+    if arguments.profile:
+        _print_profile(system)
     if arguments.check:
         truth = system.direct_codes(arguments.query)
         status = "OK" if truth == outcome.codes else "MISMATCH"
@@ -298,6 +323,10 @@ def main(argv: list[str] | None = None) -> int:
                              "plan cache (default 1)")
     answer.add_argument("--stats", action="store_true",
                         help="print plan-cache/memo/stage counters")
+    answer.add_argument("--profile", action="store_true",
+                        help="print cumulative per-stage times (parse, "
+                             "vfilter, cover, selection, refine, join, "
+                             "extract)")
     answer.set_defaults(handler=_cmd_answer)
 
     filter_ = commands.add_parser("filter", help="show VFILTER candidates")
@@ -335,6 +364,9 @@ def main(argv: list[str] | None = None) -> int:
                             "requests, exit nonzero on any 5xx")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request to stderr")
+    serve.add_argument("--profile", action="store_true",
+                       help="with --smoke: print cumulative per-stage "
+                            "times after the run")
     serve.set_defaults(handler=_cmd_serve)
 
     lint = commands.add_parser(

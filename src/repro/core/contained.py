@@ -94,12 +94,15 @@ def maximal_contained_rewriting(
                 exact_unit, query, fragment_store.fragments(view.view_id)
             )
             surviving = join_units([refined], query, fst, refined)
-            by_code = {f.code: f for f in refined.fragments}
-            for root_code in surviving:
-                root = by_code[root_code].root
-                if root.dewey != root_code:
-                    reencode_fragment(root, root_code, schema)
-                for answer in evaluate_relative(refined.pattern, root):
+            by_packed = {f.packed: f for f in refined.fragments}
+            for packed_root in surviving:
+                fragment = by_packed[packed_root]
+                root = fragment.root
+                if root.dewey != fragment.code:
+                    reencode_fragment(root, fragment.code, schema)
+                for answer in evaluate_relative(
+                    refined.pattern, root, fragment.subtree_index()
+                ):
                     assert answer.dewey is not None
                     codes.add(answer.dewey)
             contributing.append(view.view_id)

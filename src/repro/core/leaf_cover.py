@@ -37,6 +37,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..matching.homomorphism import (
     branch_maps_into,
@@ -279,10 +280,17 @@ class CoverageMemo:
     Units, compensating-pattern plans and the interned pattern share one
     LRU slot per query key, so eviction can never split them.
 
-    **Lifetime.**  Entries survive base-document maintenance (coverage
-    is document-independent) and ``register_view`` (existing pairs are
-    unaffected; new views simply miss).  Because a system never
-    redefines a view id, entries never go stale.
+    **Lifetime.**  The memo is *epoch-surviving*: it lives on the
+    system, not on a :class:`~repro.core.system.RegistryEpoch`, so a
+    ``register_view`` epoch swap carries every existing ``(view,
+    query)`` entry over untouched — coverage depends only on the two
+    patterns, and a new view simply misses.  Document maintenance
+    evicts the touched views' entries (:meth:`evict_views`): their
+    re-materialization is the one pathway by which a view id's stored
+    state changes, and dropping those few entries keeps the memo's
+    validity independent of the "view ids are never redefined"
+    invariant rather than resting on it.  Untouched views keep their
+    entries across maintenance too.
 
     **Thread safety.**  The memo is shared by every epoch (see
     ``core.system``), so concurrent service workers hit it from many
@@ -299,6 +307,7 @@ class CoverageMemo:
         self._lock = threading.RLock()
         self.computed = 0
         self.served = 0
+        self.evicted_views = 0
 
     # ------------------------------------------------------------------
     def intern(self, query_key: str, pattern: TreePattern) -> TreePattern:
@@ -360,12 +369,37 @@ class CoverageMemo:
                 key = (unit.view.view_id, id(unit.anchor))
                 slot.compensations[key] = (pattern, skipped)
 
+    def evict_views(self, view_ids: "Iterable[str]") -> int:
+        """Drop every cached unit list and compensating-pattern plan
+        belonging to the given views (all query slots); returns how many
+        entries were removed.  Called by document maintenance for the
+        views it re-materializes; interned patterns and other views'
+        entries are untouched, so warm queries stay warm."""
+        gone = set(view_ids)
+        if not gone:
+            return 0
+        removed = 0
+        with self._lock:
+            for slot in self._queries.values():
+                for view_id in gone:
+                    if slot.units.pop(view_id, None) is not None:
+                        removed += 1
+                stale = [
+                    key for key in slot.compensations if key[0] in gone
+                ]
+                for key in stale:
+                    del slot.compensations[key]
+                removed += len(stale)
+            self.evicted_views += removed
+        return removed
+
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {
                 "coverage_computed": self.computed,
                 "coverage_served": self.served,
+                "coverage_evicted": self.evicted_views,
                 "queries": len(self._queries),
             }
 

@@ -35,7 +35,12 @@ from ..errors import EncodingError, SchemaError
 from ..matching.evaluate import evaluate
 from ..matching.homomorphism import label_subsumes
 from ..xmltree.builder import encode_tree
-from ..xmltree.dewey import DeweyCode, assign_child_component, is_prefix
+from ..xmltree.dewey import (
+    DeweyCode,
+    assign_child_component,
+    is_prefix,
+    pack_component,
+)
 from ..xmltree.tree import XMLNode
 from .system import MaterializedViewSystem
 from .view import View
@@ -144,21 +149,27 @@ class DocumentEditor:
             if sibling.dewey is not None:
                 previous = sibling.dewey[-1]
         assert parent.dewey is not None
+        assert parent.dewey_packed is not None
         component = assign_child_component(
             schema, parent.label, subtree.label, previous
         )
         subtree.dewey = parent.dewey + (component,)
+        subtree.dewey_packed = parent.dewey_packed + pack_component(component)
         stack = [subtree]
         while stack:
             current = stack.pop()
             last: int | None = None
             for child in current.children:
                 assert current.dewey is not None
+                assert current.dewey_packed is not None
                 child_component = assign_child_component(
                     schema, current.label, child.label, last
                 )
                 last = child_component
                 child.dewey = current.dewey + (child_component,)
+                child.dewey_packed = (
+                    current.dewey_packed + pack_component(child_component)
+                )
                 stack.append(child)
 
     def _full_reencode(self) -> None:
@@ -175,6 +186,7 @@ class DocumentEditor:
         # Base-data indexes are stale too.
         self.system._node_index = None
         self.system._path_index = None
+        self.system._stream_index = None
         # Cached plans embed rewrite results over the old document;
         # drop them here rather than relying on a later _refresh_views.
         self.system._invalidate_plans()
@@ -190,8 +202,10 @@ class DocumentEditor:
         report = MaintenanceReport(operation, changed_nodes)
         system = self.system
         # The document changed, so every cached answering plan is stale
-        # (fragments, sizes and answer sets may all differ); the
-        # coverage memo survives — it depends only on the patterns.
+        # (fragments, sizes and answer sets may all differ).  The
+        # coverage memo carries over for untouched views (coverage
+        # depends only on the patterns); touched views' entries are
+        # evicted below as each is identified.
         system._invalidate_plans()
         capped: list[str] = []
         for view in list(system.materialized_views()):
@@ -202,6 +216,7 @@ class DocumentEditor:
                 report.skipped_views.append(view.view_id)
                 continue
             report.affected_views.append(view.view_id)
+            system._memo.evict_views([view.view_id])
             system.fragments.drop(view.view_id)
             try:
                 answers = evaluate(view.pattern, system.document.tree)
@@ -227,6 +242,7 @@ class DocumentEditor:
         """Remove views from the answerable pool and rebuild VFILTER."""
         system = self.system
         system._invalidate_plans()
+        system._memo.evict_views(view_ids)
         system._evict_materialized(view_ids)
 
     def _view_touched(

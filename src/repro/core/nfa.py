@@ -36,13 +36,18 @@ sub-linear in the number of views (Figure 11).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..xpath.ast import Axis, WILDCARD
 from ..xpath.pattern import PathPattern
 from ..xpath.transform import DESCENDANT_TOKEN
 
-__all__ = ["PathNFA", "AcceptEntry"]
+__all__ = ["PathNFA", "CompiledNFA", "AcceptEntry"]
+
+#: Default cap on eagerly built DFA rows at epoch-publish time; states
+#: beyond it are expanded lazily on first visit.
+DEFAULT_COMPILE_BUDGET = 2048
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,6 +84,11 @@ class PathNFA:
         self._states: list[_State] = [_State()]
         self._loops: dict[int, int] = {}  # source state -> its loop state
         self._transition_count = 0
+        self._compiled: CompiledNFA | None = None
+        #: How many ``read`` calls took the compiled / simulated path —
+        #: racy best-effort counters (stats only, never control flow).
+        self.reads_compiled = 0
+        self.reads_simulated = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -161,6 +171,7 @@ class PathNFA:
         over-accept (one more false positive), never under-accept: a
         containment witness always supplies ≥ n+1 real steps.
         """
+        self._compiled = None  # any structural change voids the DFA
         steps = path.steps
         current = 0
         index = 0
@@ -237,7 +248,17 @@ class PathNFA:
         return following
 
     def read(self, tokens: tuple[str, ...]) -> list[AcceptEntry]:
-        """Run ``δ(q0, tokens)`` and return the accept entries reached."""
+        """Run ``δ(q0, tokens)`` and return the accept entries reached.
+
+        Uses the compiled transition table when :meth:`compile` has run
+        (one dict probe per token) and falls back to set simulation
+        otherwise.
+        """
+        compiled = self._compiled
+        if compiled is not None:
+            self.reads_compiled += 1
+            return compiled.read(tokens)
+        self.reads_simulated += 1
         current: set[int] = {0}
         for token in tokens:
             current = self._step(current, token)
@@ -247,6 +268,24 @@ class PathNFA:
         for state_id in current:
             entries.extend(self._states[state_id].accepts)
         return entries
+
+    def compile(self, budget: int = DEFAULT_COMPILE_BUDGET) -> "CompiledNFA":
+        """Build (or return) the lazy-DFA transition table.
+
+        Idempotent until the next :meth:`insert`, which voids the cached
+        automaton.  ``budget`` caps the number of DFA rows expanded
+        eagerly; further states are built on first visit.
+        """
+        compiled = self._compiled
+        if compiled is None:
+            compiled = CompiledNFA(self._states)
+            compiled.warm(budget)
+            self._compiled = compiled
+        return compiled
+
+    @property
+    def compiled(self) -> "CompiledNFA | None":
+        return self._compiled
 
     def reachable_states(self, tokens: tuple[str, ...]) -> set[int]:
         """Return the raw state set ``δ(q0, tokens)`` (diagnostics and
@@ -298,4 +337,213 @@ class PathNFA:
         return (
             f"<PathNFA states={self.state_count} "
             f"transitions={self.transition_count}>"
+        )
+
+
+class CompiledNFA:
+    """Lazy subset-construction DFA over a frozen :class:`PathNFA`.
+
+    Set simulation costs one pass over the *state set* per token; the
+    compiled form costs one dict probe per token.  Each DFA state is an
+    interned frozenset of NFA state ids carrying a precomputed row:
+
+    * ``labels`` — explicit targets for every label appearing in some
+      member state's ``exact``/``desc_exact`` dict (the only labels
+      whose successor differs from the default);
+    * ``other`` — the target for every *other* non-``#`` token.  The
+      query wildcard ``*`` lands here too: view ``exact`` dicts never
+      key ``*`` (wildcard steps go to ``star``), so ``*`` follows
+      exactly the ``any_to``/``chain``/``star``/``desc_star`` edges an
+      unknown label follows;
+    * ``hash`` — the target for the ``#`` token, which per the paper's
+      alphabet only follows ``any_to``/``chain`` edges.
+
+    Rows are built on first visit (and eagerly up to a budget by
+    :meth:`warm`), so the table stays proportional to the state sets
+    queries actually reach — never the exponential full powerset.
+
+    Thread safety: the underlying NFA is frozen once published in an
+    epoch, and all table mutation happens under ``_lock``.  The read
+    path is lock-free — it only indexes lists the GIL keeps consistent
+    and retries through the lock when it lands on an unbuilt row.
+    """
+
+    #: DFA id of the dead state (empty NFA set); all its exits loop.
+    DEAD = 0
+
+    __slots__ = (
+        "_nfa_states",
+        "_sets",
+        "_labels",
+        "_other",
+        "_hash",
+        "_accepts",
+        "_intern",
+        "_lock",
+        "_start",
+        "_rows_built",
+    )
+
+    def __init__(self, nfa_states: list[_State]) -> None:
+        self._nfa_states = nfa_states
+        self._sets: list[frozenset[int]] = []
+        #: per-DFA-state label row; ``None`` until the row is built.
+        self._labels: list[dict[str, int] | None] = []
+        self._other: list[int] = []
+        self._hash: list[int] = []
+        self._accepts: list[tuple[AcceptEntry, ...]] = []
+        self._intern: dict[frozenset[int], int] = {}
+        self._lock = threading.Lock()
+        self._rows_built = 0
+        dead = self._intern_set(frozenset())
+        assert dead == self.DEAD
+        self._labels[dead] = {}
+        self._other[dead] = dead
+        self._hash[dead] = dead
+        self._rows_built += 1
+        self._start = self._intern_set(frozenset({0}))
+
+    # ------------------------------------------------------------------
+    # construction (all mutation under ``_lock`` after ``__init__``)
+    # ------------------------------------------------------------------
+    def _intern_set(self, states: frozenset[int]) -> int:
+        dfa_id = self._intern.get(states)
+        if dfa_id is not None:
+            return dfa_id
+        dfa_id = len(self._sets)
+        self._sets.append(states)
+        self._labels.append(None)
+        self._other.append(-1)
+        self._hash.append(-1)
+        self._accepts.append(
+            tuple(
+                entry
+                for state_id in sorted(states)
+                for entry in self._nfa_states[state_id].accepts
+            )
+        )
+        self._intern[states] = dfa_id
+        return dfa_id
+
+    def _build_row(self, dfa_id: int) -> dict[str, int]:
+        """Compute the full transition row of ``dfa_id`` (lock held)."""
+        built = self._labels[dfa_id]
+        if built is not None:  # lost the race: another thread built it
+            return built
+        states = self._nfa_states
+        hash_set: set[int] = set()
+        relevant: set[str] = set()
+        for state_id in self._sets[dfa_id]:
+            state = states[state_id]
+            hash_set.update(state.any_to)
+            if state.chain is not None:
+                hash_set.add(state.chain)
+            relevant.update(state.exact)
+            relevant.update(state.desc_exact)
+        other_set = set(hash_set)
+        for state_id in self._sets[dfa_id]:
+            state = states[state_id]
+            if state.star is not None:
+                other_set.add(state.star)
+            if state.desc_star is not None:
+                other_set.add(state.desc_star)
+        row: dict[str, int] = {}
+        for label in relevant:
+            target_set = set(other_set)
+            for state_id in self._sets[dfa_id]:
+                state = states[state_id]
+                target = state.exact.get(label)
+                if target is not None:
+                    target_set.add(target)
+                target = state.desc_exact.get(label)
+                if target is not None:
+                    target_set.add(target)
+            row[label] = self._intern_set(frozenset(target_set))
+        other_id = self._intern_set(frozenset(other_set))
+        hash_id = self._intern_set(frozenset(hash_set))
+        # Publish ``other``/``hash`` before the row dict: readers treat a
+        # non-``None`` row as "fully built".
+        self._other[dfa_id] = other_id
+        self._hash[dfa_id] = hash_id
+        self._labels[dfa_id] = row
+        self._rows_built += 1
+        return row
+
+    def warm(self, budget: int = DEFAULT_COMPILE_BUDGET) -> int:
+        """Eagerly expand up to ``budget`` DFA rows breadth-first from
+        the start state; return how many rows exist afterwards."""
+        with self._lock:
+            queue = [self._start]
+            seen = {self.DEAD, self._start}
+            while queue and self._rows_built < budget:
+                dfa_id = queue.pop(0)
+                row = self._labels[dfa_id]
+                if row is None:
+                    row = self._build_row(dfa_id)
+                successors = list(row.values())
+                successors.append(self._other[dfa_id])
+                successors.append(self._hash[dfa_id])
+                for target in successors:
+                    if target not in seen:
+                        seen.add(target)
+                        queue.append(target)
+            return self._rows_built
+
+    # ------------------------------------------------------------------
+    # execution (lock-free fast path)
+    # ------------------------------------------------------------------
+    def read(self, tokens: tuple[str, ...]) -> list[AcceptEntry]:
+        """Run the token path through the table: one probe per token."""
+        labels = self._labels
+        current = self._start
+        for token in tokens:
+            if current == self.DEAD:
+                return []
+            row = labels[current]
+            if row is None:
+                with self._lock:
+                    row = self._build_row(current)
+            target = row.get(token)
+            if target is None:
+                if token == DESCENDANT_TOKEN:
+                    target = self._hash[current]
+                else:
+                    target = self._other[current]
+            current = target
+        return list(self._accepts[current])
+
+    # ------------------------------------------------------------------
+    # introspection / sizing
+    # ------------------------------------------------------------------
+    @property
+    def state_count(self) -> int:
+        return len(self._sets)
+
+    @property
+    def rows_built(self) -> int:
+        return self._rows_built
+
+    def table_entries(self) -> int:
+        """Total transition-table entries across built rows."""
+        total = 0
+        for row in self._labels:
+            if row is not None:
+                total += len(row) + 2  # labels + other + hash
+        return total
+
+    def stored_bytes(self) -> int:
+        """Rough in-memory footprint of the compiled table."""
+        total = 0
+        for dfa_id, row in enumerate(self._labels):
+            total += 8 + 4 * len(self._sets[dfa_id])
+            if row is not None:
+                total += 10  # other + hash slots
+                for label in row:
+                    total += len(label.encode()) + 5
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CompiledNFA states={self.state_count} "
+            f"rows={self._rows_built}>"
         )

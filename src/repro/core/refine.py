@@ -84,6 +84,6 @@ def refine_unit(
     surviving = [
         fragment
         for fragment in fragments
-        if satisfies_relative(pattern, fragment.root)
+        if satisfies_relative(pattern, fragment.root, fragment.subtree_index())
     ]
     return RefinedUnit(unit, pattern, surviving, False)

@@ -21,12 +21,18 @@ base document, and the test suite checks exactly that equality.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..errors import RewritingError
 from ..matching.evaluate import evaluate_relative
 from ..storage.fragments import Fragment, FragmentStore
-from ..xmltree.dewey import DeweyCode, assign_child_component
+from ..xmltree.dewey import (
+    DeweyCode,
+    assign_child_component,
+    pack_code,
+    pack_component,
+)
 from ..xmltree.fst import FiniteStateTransducer
 from ..xmltree.schema import DocumentSchema
 from ..xmltree.tree import XMLNode
@@ -67,6 +73,7 @@ def reencode_fragment(
     document's codes.
     """
     root.dewey = root_code
+    root.dewey_packed = pack_code(root_code)
     stack = [root]
     while stack:
         parent = stack.pop()
@@ -77,7 +84,9 @@ def reencode_fragment(
             )
             previous = component
             assert parent.dewey is not None
+            assert parent.dewey_packed is not None
             child.dewey = parent.dewey + (component,)
+            child.dewey_packed = parent.dewey_packed + pack_component(component)
             stack.append(child)
 
 
@@ -89,6 +98,7 @@ def rewrite(
     fst: FiniteStateTransducer,
     memo: CoverageMemo | None = None,
     query_key: str | None = None,
+    stage_acc: dict[str, float] | None = None,
 ) -> RewriteResult:
     """Run the full refine → join → extract pipeline.
 
@@ -97,6 +107,11 @@ def rewrite(
     served from / recorded in the memo instead of being re-derived —
     only valid when ``query`` is the memo's interned pattern for
     ``query_key`` and the units reference its nodes.
+
+    ``stage_acc``, when given, receives cumulative wall-clock seconds
+    under the keys ``refine`` / ``join`` / ``extract`` (the ``answer
+    --profile`` plumbing); the empty-answer short-circuit skips the
+    bookkeeping.
     """
     fragments_cache: dict[str, list[Fragment]] = {}
 
@@ -116,6 +131,7 @@ def rewrite(
             memo.record_compensation(query_key, unit, *plan)
         return plan
 
+    refine_started = time.perf_counter() if stage_acc is not None else 0.0
     refined_units: list[RefinedUnit] = []
     for unit in selection.units:
         refined = refine_unit(
@@ -125,6 +141,8 @@ def rewrite(
             # Some required piece has no instances: the answer is empty.
             return RewriteResult([], refined=refined_units + [refined])
         refined_units.append(refined)
+    if stage_acc is not None:
+        stage_acc["refine"] += time.perf_counter() - refine_started
 
     delta_candidates = [
         refined for refined in refined_units if refined.unit.provides_delta
@@ -142,22 +160,35 @@ def rewrite(
         ),
     )
 
+    join_started = time.perf_counter() if stage_acc is not None else 0.0
     surviving = join_units(refined_units, query, fst, extraction)
+    if stage_acc is not None:
+        stage_acc["join"] += time.perf_counter() - join_started
+        extract_started = time.perf_counter()
 
-    by_code = {fragment.code: fragment for fragment in extraction.fragments}
-    codes: set[DeweyCode] = set()
+    by_packed = {
+        fragment.packed: fragment for fragment in extraction.fragments
+    }
+    # Document-order sort on packed keys (flat byte comparison); the
+    # packed form is unique per code, so the tuple is never compared.
+    ordered: set[tuple[bytes, DeweyCode]] = set()
     answers: dict[DeweyCode, XMLNode] = {}
-    for root_code in surviving:
-        fragment = by_code[root_code]
+    for packed_root in surviving:
+        fragment = by_packed[packed_root]
         root = fragment.root
-        if root.dewey != root_code:
-            reencode_fragment(root, root_code, schema)
-        for answer in evaluate_relative(extraction.pattern, root):
+        if root.dewey != fragment.code:
+            reencode_fragment(root, fragment.code, schema)
+        for answer in evaluate_relative(
+            extraction.pattern, root, fragment.subtree_index()
+        ):
             assert answer.dewey is not None
-            codes.add(answer.dewey)
+            assert answer.dewey_packed is not None
+            ordered.add((answer.dewey_packed, answer.dewey))
             answers[answer.dewey] = answer
+    if stage_acc is not None:
+        stage_acc["extract"] += time.perf_counter() - extract_started
     return RewriteResult(
-        sorted(codes),
+        [code for _packed, code in sorted(ordered)],
         answers=answers,
         refined=refined_units,
         extraction_view=extraction.unit.view.view_id,

@@ -44,13 +44,13 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from . import contracts
 from ..errors import ViewNotAnswerableError
 from ..matching.evaluate import evaluate
 from ..storage.fragments import DEFAULT_FRAGMENT_CAP, FragmentStore
-from ..storage.index import FullPathIndex, NodeIndex
+from ..storage.index import DeweyStreamIndex, FullPathIndex, NodeIndex
 from ..storage.kvstore import KVStore
 from ..xmltree.builder import EncodedDocument
 from ..xmltree.dewey import DeweyCode
@@ -111,8 +111,15 @@ class RegistryEpoch:
 
 def _sorted_codes(answers: Iterable[XMLNode]) -> list[DeweyCode]:
     """Answer extraction shared by the baselines and ground truth:
-    the sorted Dewey codes of every encoded answer node."""
-    return sorted(node.dewey for node in answers if node.dewey is not None)
+    the Dewey codes of every encoded answer node, in document order.
+    Sorts on the packed byte key (flat comparison; unique per code, so
+    the tuple itself is never compared)."""
+    keyed = sorted(
+        (node.dewey_packed, node.dewey)
+        for node in answers
+        if node.dewey is not None and node.dewey_packed is not None
+    )
+    return [code for _packed, code in keyed]
 
 
 @dataclass(slots=True)
@@ -164,6 +171,7 @@ class MaterializedViewSystem:
         self._memo = CoverageMemo()
         self._node_index: NodeIndex | None = None
         self._path_index: FullPathIndex | None = None
+        self._stream_index: DeweyStreamIndex | None = None
         #: Serialises every registry mutation (registration, eviction,
         #: maintenance).  Readers never take it: they pin ``_epoch``.
         self._mutate_lock = threading.RLock()
@@ -181,7 +189,10 @@ class MaterializedViewSystem:
             plan_cache=PlanCache(plan_cache_size),
         )
         self._stage_totals: dict[str, float] = {
-            "parse": 0.0, "lookup": 0.0, "rewrite": 0.0
+            "parse": 0.0, "lookup": 0.0, "rewrite": 0.0,
+            # fine-grained cold-path stages (answer --profile)
+            "vfilter": 0.0, "cover": 0.0, "selection": 0.0,
+            "refine": 0.0, "join": 0.0, "extract": 0.0,
         }
         self._answer_calls = 0
         self._warm_hits = 0
@@ -229,7 +240,14 @@ class MaterializedViewSystem:
         swap itself, so :meth:`stats` never double- or under-counts a
         cache that is mid-retirement.  Readers that pinned the retiring
         epoch keep using it untouched — publication never blocks them.
+
+        The incoming filter's transition tables are compiled here, at
+        publish time, so cold queries against the new epoch take the
+        one-probe-per-token path instead of NFA set simulation.  Layers
+        shared with the retiring epoch keep their existing tables
+        (compilation is an idempotent per-layer cache).
         """
+        vfilter.precompile()
         retiring = self._epoch
         with self._stats_lock:
             self._plan_stats_base.absorb(
@@ -479,9 +497,12 @@ class MaterializedViewSystem:
 
         Called by :meth:`register_view` / :meth:`register_views` and by
         :class:`~repro.core.maintenance.DocumentEditor` after inserts
-        and deletes.  The coverage memo survives: coverage is a pure
-        function of the view and query patterns, and view ids are never
-        redefined within one system.  Clears the *current* epoch's
+        and deletes.  The coverage memo carries over epoch swaps:
+        coverage is a pure function of the view and query patterns, so
+        registration never evicts it; maintenance separately evicts the
+        entries of the views it touches
+        (:meth:`~repro.core.leaf_cover.CoverageMemo.evict_views`).
+        Clears the *current* epoch's
         cache in place; mutations that publish a successor epoch
         additionally retire the cleared cache wholesale.
         """
@@ -517,6 +538,7 @@ class MaterializedViewSystem:
                 "registered_serial": registered_serial,
             },
             "plan_cache": plan,
+            "vfilter": epoch.vfilter.compiled_stats(),
             "coverage_memo": self._memo.stats(),
             "answers": answers,
             "warm_hits": warm_hits,
@@ -583,6 +605,7 @@ class MaterializedViewSystem:
         strategy: str,
         units_fn: UnitsFn | None = None,
         epoch: RegistryEpoch | None = None,
+        stage_acc: dict[str, float] | None = None,
     ) -> tuple[FilterResult | None, Selection]:
         """Filter + select for one query: the plan-derivation core.
 
@@ -591,36 +614,56 @@ class MaterializedViewSystem:
         needs to cross-check cached plans against first principles —
         it passes the epoch the cached plan was derived against, so the
         cross-check is immune to registrations that landed since.
+
+        ``stage_acc`` receives cumulative ``vfilter`` / ``selection``
+        seconds; coverage time accumulated by ``units_fn`` into
+        ``stage_acc["cover"]`` during selection is subtracted back out
+        of ``selection``, so the two stages never double-count.
         """
         if epoch is None:
             epoch = self._epoch
+
+        def timed_selection(run: "Callable[[], Selection]") -> Selection:
+            if stage_acc is None:
+                return run()
+            cover_before = stage_acc.get("cover", 0.0)
+            started = time.perf_counter()
+            selection = run()
+            elapsed = time.perf_counter() - started
+            cover_delta = stage_acc.get("cover", 0.0) - cover_before
+            stage_acc["selection"] += elapsed - cover_delta
+            return selection
+
         if strategy == "MN":
-            return None, select_minimum(
+            return None, timed_selection(lambda: select_minimum(
                 list(epoch.materialized),
                 pattern,
                 self.fragments.fragment_bytes,
                 units_fn=units_fn,
-            )
+            ))
+        filter_started = time.perf_counter() if stage_acc is not None else 0.0
         filter_result = epoch.vfilter.filter(pattern)
+        if stage_acc is not None:
+            stage_acc["vfilter"] += time.perf_counter() - filter_started
         if strategy in ("MV", "CB"):
             candidates = [
                 epoch.views[view_id] for view_id in filter_result.candidates
             ]
             selector = select_minimum if strategy == "MV" else select_cost_based
-            selection = selector(
+            selection = timed_selection(lambda: selector(
                 candidates,
                 pattern,
                 self.fragments.fragment_bytes,
                 units_fn=units_fn,
-            )
+            ))
         else:
-            selection = select_heuristic(
+            selection = timed_selection(lambda: select_heuristic(
                 filter_result,
                 epoch.views.__getitem__,
                 pattern,
                 self.fragments.fragment_bytes,
                 units_fn=units_fn,
-            )
+            ))
         return filter_result, selection
 
     def _answer_cold(
@@ -633,13 +676,21 @@ class MaterializedViewSystem:
         epoch: RegistryEpoch,
     ) -> AnswerOutcome:
         pattern = self._memo.intern(query_key, pattern)
+        stage_acc = {
+            "vfilter": 0.0, "cover": 0.0, "selection": 0.0,
+            "refine": 0.0, "join": 0.0, "extract": 0.0,
+        }
 
         def units_fn(view: View) -> list[CoverageUnit]:
-            return self._memo.units(view, query_key, pattern)
+            cover_started = time.perf_counter()
+            units = self._memo.units(view, query_key, pattern)
+            stage_acc["cover"] += time.perf_counter() - cover_started
+            return units
 
         try:
             filter_result, selection = self._derive_selection(
-                pattern, strategy, units_fn=units_fn, epoch=epoch
+                pattern, strategy, units_fn=units_fn, epoch=epoch,
+                stage_acc=stage_acc,
             )
         except ViewNotAnswerableError as error:
             epoch.plan_cache.put(
@@ -647,6 +698,9 @@ class MaterializedViewSystem:
                 strategy,
                 PlanEntry(pattern, None, None, error=error),
             )
+            with self._stats_lock:
+                for stage, seconds in stage_acc.items():
+                    self._stage_totals[stage] += seconds
             raise
         if contracts.enabled():
             context = f"answer({query_key!r}, {strategy})"
@@ -665,6 +719,7 @@ class MaterializedViewSystem:
             self.document.fst,
             memo=self._memo,
             query_key=query_key,
+            stage_acc=stage_acc,
         )
         finished = time.perf_counter()
 
@@ -681,6 +736,8 @@ class MaterializedViewSystem:
         with self._stats_lock:
             self._stage_totals["lookup"] += lookup_done - started
             self._stage_totals["rewrite"] += finished - lookup_done
+            for stage, seconds in stage_acc.items():
+                self._stage_totals[stage] += seconds
         return AnswerOutcome(
             codes=list(result.codes),
             strategy=strategy,
@@ -695,6 +752,7 @@ class MaterializedViewSystem:
                 "parse": started - entered,
                 "lookup": lookup_done - started,
                 "rewrite": finished - lookup_done,
+                **stage_acc,
             },
             epoch_seq=epoch.seq,
         )
@@ -805,6 +863,18 @@ class MaterializedViewSystem:
                     self._path_index = index
         return index
 
+    def _ensure_stream_index(self) -> DeweyStreamIndex:
+        """Packed per-label Dewey streams for the TJ baseline (built
+        once, invalidated by document maintenance)."""
+        index = self._stream_index
+        if index is None:
+            with self._index_lock:
+                index = self._stream_index
+                if index is None:
+                    index = DeweyStreamIndex(self.document.tree)
+                    self._stream_index = index
+        return index
+
     def answer_bn(self, query: str | TreePattern) -> AnswerOutcome:
         """BN: evaluate on base data with the basic node index."""
         pattern = parse_xpath(query) if isinstance(query, str) else query
@@ -854,8 +924,9 @@ class MaterializedViewSystem:
         from ..matching.tjfast import tjfast_evaluate
 
         pattern = parse_xpath(query) if isinstance(query, str) else query
+        index = self._ensure_stream_index()
         started = time.perf_counter()
-        codes = sorted(tjfast_evaluate(pattern, self.document))
+        codes = sorted(tjfast_evaluate(pattern, self.document, index))
         finished = time.perf_counter()
         return AnswerOutcome(codes, "TJ", total_seconds=finished - started)
 

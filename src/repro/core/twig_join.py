@@ -20,7 +20,10 @@ nodes on the paths from the root to the units' anchors:
 The solver is a backtracking CSP over units ordered by anchor depth,
 using binary search over each unit's code-sorted fragment list to
 enumerate only roots inside the Dewey range of the deepest already
-assigned ancestor (:func:`repro.xmltree.dewey.descendant_range_key`).
+assigned ancestor (:func:`repro.xmltree.dewey.packed_descendant_range`).
+All hot-loop comparisons operate on *packed* codes — order-preserving
+byte strings (:func:`repro.xmltree.dewey.pack_code`) with per-fragment
+precomputed prefix chains — never on int tuples.
 
 The public entry point returns, for a designated extraction unit (the
 Δ-view), the fragments that participate in at least one full join — the
@@ -31,39 +34,52 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from typing import Sequence, TypeVar
 
-from ..xmltree.dewey import DeweyCode, descendant_range_key
+from ..xmltree.dewey import (
+    DeweyCode,
+    PackedCode,
+    packed_descendant_range,
+)
 from ..xmltree.fst import FiniteStateTransducer
 from ..xpath.ast import Axis, WILDCARD
 from ..xpath.pattern import PatternNode, TreePattern
 from .refine import RefinedUnit
 
-__all__ = ["join_units", "anchor_instantiations"]
+__all__ = ["join_units", "anchor_instantiations", "instantiate_path"]
+
+#: A concrete prefix value bound to a skeleton node — a Dewey tuple in
+#: the compatibility API, a packed byte string on the hot path.
+PrefixT = TypeVar("PrefixT")
 
 
 def _label_ok(pattern_label: str, concrete_label: str) -> bool:
     return pattern_label == WILDCARD or pattern_label == concrete_label
 
 
-def anchor_instantiations(
+def instantiate_path(
     path_nodes: list[PatternNode],
-    code: DeweyCode,
+    prefixes: Sequence[PrefixT],
     labels: tuple[str, ...],
-    assignment: dict[int, DeweyCode],
-) -> list[dict[int, DeweyCode]]:
+    assignment: dict[int, PrefixT],
+) -> list[dict[int, PrefixT]]:
     """All ways to place a query root-to-anchor path onto one concrete
     root-to-node chain.
 
-    ``path_nodes`` is the query path (root first, anchor last); ``code``
-    the fragment root's Dewey code and ``labels`` its FST-decoded label
-    path (same length).  ``assignment`` holds already fixed skeleton
-    nodes; placements must agree with it.  Returns the *new* bindings of
-    each consistent placement (not including prior assignments).
+    ``path_nodes`` is the query path (root first, anchor last);
+    ``prefixes[k - 1]`` the concrete ancestor at depth ``k`` of the
+    chain (for packed codes this is
+    :func:`repro.xmltree.dewey.packed_prefixes`, precomputed once per
+    fragment instead of sliced per placement) and ``labels`` the chain's
+    FST-decoded label path (same length).  ``assignment`` holds already
+    fixed skeleton nodes; placements must agree with it.  Returns the
+    *new* bindings of each consistent placement (not including prior
+    assignments).
     """
-    results: list[dict[int, DeweyCode]] = []
-    depth = len(code)
+    results: list[dict[int, PrefixT]] = []
+    depth = len(prefixes)
 
-    def place(index: int, position: int, bound: dict[int, DeweyCode]) -> None:
+    def place(index: int, position: int, bound: dict[int, PrefixT]) -> None:
         # position = prefix length assigned to path_nodes[index - 1].
         if index == len(path_nodes):
             if position == depth:
@@ -81,7 +97,7 @@ def anchor_instantiations(
                 break
             if not _label_ok(node.label, labels[candidate - 1]):
                 continue
-            prefix = code[:candidate]
+            prefix = prefixes[candidate - 1]
             if fixed is not None:
                 # Already assigned by another unit: must coincide, and is
                 # not re-recorded (the caller owns its binding).
@@ -98,47 +114,68 @@ def anchor_instantiations(
     return results
 
 
+def anchor_instantiations(
+    path_nodes: list[PatternNode],
+    code: DeweyCode,
+    labels: tuple[str, ...],
+    assignment: dict[int, DeweyCode],
+) -> list[dict[int, DeweyCode]]:
+    """Tuple-code form of :func:`instantiate_path` (assignments bind
+    Dewey tuples); the hot join paths pass precomputed packed prefixes
+    to :func:`instantiate_path` directly."""
+    prefixes = tuple(code[:depth] for depth in range(1, len(code) + 1))
+    return instantiate_path(path_nodes, prefixes, labels, assignment)
+
+
 @dataclass(slots=True)
 class _Participant:
     refined: RefinedUnit
     path_nodes: list[PatternNode]
-    codes: list[DeweyCode]  # sorted fragment root codes
+    #: Sorted packed fragment root codes (byte order = document order)
+    #: with the parallel per-code packed prefix chains.
+    codes: list[PackedCode]
+    prefixes: list[tuple[PackedCode, ...]]
 
 
 def _prepare(units: list[RefinedUnit], query: TreePattern) -> list[_Participant]:
     participants = []
     for refined in units:
         path_nodes = refined.unit.anchor.root_path()
-        codes = [fragment.code for fragment in refined.fragments]
-        participants.append(_Participant(refined, path_nodes, codes))
+        codes = [fragment.packed for fragment in refined.fragments]
+        prefixes = [fragment.prefixes for fragment in refined.fragments]
+        participants.append(
+            _Participant(refined, path_nodes, codes, prefixes)
+        )
     # Deeper anchors first: they constrain the assignment the most.
     participants.sort(key=lambda p: -len(p.path_nodes))
     return participants
 
 
-def _candidate_codes(
-    participant: _Participant, assignment: dict[int, DeweyCode]
-) -> list[DeweyCode]:
-    """Fragment roots compatible with the deepest assigned ancestor."""
+def _candidate_indices(
+    participant: _Participant, assignment: dict[int, PackedCode]
+) -> range:
+    """Index range of fragment roots compatible with the deepest
+    assigned ancestor (packed byte-range bisection)."""
+    codes = participant.codes
     anchor = participant.path_nodes[-1]
     fixed = assignment.get(id(anchor))
     if fixed is not None:
-        index = bisect_left(participant.codes, fixed)
-        if index < len(participant.codes) and participant.codes[index] == fixed:
-            return [fixed]
-        return []
-    # Deepest assigned skeleton node on this unit's path bounds the root.
-    bound: DeweyCode | None = None
+        index = bisect_left(codes, fixed)
+        if index < len(codes) and codes[index] == fixed:
+            return range(index, index + 1)
+        return range(0)
+    # Deepest assigned skeleton node on this unit's path bounds the root
+    # (longest packed code: on any chain, deeper means more bytes; any
+    # assigned ancestor is a sound bound, this one is the tightest).
+    bound: PackedCode | None = None
     for node in participant.path_nodes:
         code = assignment.get(id(node))
         if code is not None and (bound is None or len(code) > len(bound)):
             bound = code
     if bound is None:
-        return participant.codes
-    low, high = descendant_range_key(bound)
-    start = bisect_left(participant.codes, low)
-    end = bisect_right(participant.codes, high)
-    return participant.codes[start:end]
+        return range(len(codes))
+    low, high = packed_descendant_range(bound)
+    return range(bisect_left(codes, low), bisect_right(codes, high))
 
 
 def join_units(
@@ -146,8 +183,9 @@ def join_units(
     query: TreePattern,
     fst: FiniteStateTransducer,
     extraction_unit: RefinedUnit,
-) -> list[DeweyCode]:
-    """Return the extraction unit's fragment roots that join fully.
+) -> list[PackedCode]:
+    """Return the extraction unit's fragment roots that join fully,
+    as packed codes in document order.
 
     Every unit in ``units`` (including the extraction unit) must
     participate; a root of the extraction unit survives when some global
@@ -158,14 +196,18 @@ def join_units(
     others = [p for p in participants if p.refined is not extraction_unit]
     target = next(p for p in participants if p.refined is extraction_unit)
 
-    def solve(index: int, assignment: dict[int, DeweyCode]) -> bool:
+    def solve(index: int, assignment: dict[int, PackedCode]) -> bool:
         if index == len(others):
             return True
         participant = others[index]
-        for code in _candidate_codes(participant, assignment):
-            labels = fst.decode(code)
-            placements = anchor_instantiations(
-                participant.path_nodes, code, labels, assignment
+        for position in _candidate_indices(participant, assignment):
+            code = participant.codes[position]
+            labels = fst.decode_packed(code)
+            placements = instantiate_path(
+                participant.path_nodes,
+                participant.prefixes[position],
+                labels,
+                assignment,
             )
             for bound in placements:
                 assignment.update(bound)
@@ -177,11 +219,11 @@ def join_units(
                     del assignment[key]
         return False
 
-    surviving: list[DeweyCode] = []
-    for code in target.codes:
-        labels = fst.decode(code)
-        placements = anchor_instantiations(
-            target.path_nodes, code, labels, {}
+    surviving: list[PackedCode] = []
+    for position, code in enumerate(target.codes):
+        labels = fst.decode_packed(code)
+        placements = instantiate_path(
+            target.path_nodes, target.prefixes[position], labels, {}
         )
         matched = False
         for bound in placements:

@@ -25,7 +25,7 @@ from ..storage.serialize import encode_text, encode_varint
 from ..xpath.decompose import decompose
 from ..xpath.pattern import PathPattern, TreePattern
 from ..xpath.transform import str_tokens
-from .nfa import AcceptEntry, PathNFA
+from .nfa import DEFAULT_COMPILE_BUDGET, AcceptEntry, PathNFA
 from .view import View
 
 __all__ = ["LayeredVFilter", "VFilter", "FilterResult"]
@@ -226,6 +226,31 @@ class VFilter:
             entries.sort(key=lambda item: (-item[1], item[0]))
             lists[path] = entries
         return FilterResult(candidates, lists, unique_paths)
+
+    # ------------------------------------------------------------------
+    # compiled transition table
+    # ------------------------------------------------------------------
+    def precompile(self, budget: int = DEFAULT_COMPILE_BUDGET) -> None:
+        """Compile the NFA into its lazy-DFA transition table (see
+        :class:`repro.core.nfa.CompiledNFA`).  Called at epoch-publish
+        time so steady-state :meth:`filter` calls cost one dict probe
+        per token instead of a set-simulation pass.  Idempotent; voided
+        automatically by :meth:`add_view`."""
+        self.nfa.compile(budget)
+
+    def compiled_stats(self) -> dict[str, int]:
+        """Counters for the compiled path (stats / CI feature checks)."""
+        compiled = self.nfa.compiled
+        return {
+            "compiled_layers": 1 if compiled is not None else 0,
+            "dfa_states": compiled.state_count if compiled is not None else 0,
+            "dfa_rows": compiled.rows_built if compiled is not None else 0,
+            "dfa_table_entries": (
+                compiled.table_entries() if compiled is not None else 0
+            ),
+            "reads_compiled": self.nfa.reads_compiled,
+            "reads_simulated": self.nfa.reads_simulated,
+        }
 
     # ------------------------------------------------------------------
     # persistence / sizing
@@ -460,6 +485,33 @@ class LayeredVFilter:
 
     def stored_bytes(self) -> int:
         return sum(layer.stored_bytes() for layer in self._layers())
+
+    def precompile(self, budget: int = DEFAULT_COMPILE_BUDGET) -> None:
+        """Compile every layer's transition table (idempotent).
+
+        Mutation-wise this only populates per-layer caches guarded by
+        their own locks, so calling it on a published (shared) filter is
+        safe — layers already compiled by a previous epoch are reused.
+        """
+        for layer in self._layers():
+            layer.precompile(budget)
+
+    def compiled_stats(self) -> dict[str, int]:
+        """Aggregate compiled-path counters across layers."""
+        totals = {
+            "layers": 0,
+            "compiled_layers": 0,
+            "dfa_states": 0,
+            "dfa_rows": 0,
+            "dfa_table_entries": 0,
+            "reads_compiled": 0,
+            "reads_simulated": 0,
+        }
+        for layer in self._layers():
+            totals["layers"] += 1
+            for key, value in layer.compiled_stats().items():
+                totals[key] += value
+        return totals
 
     def _layers(self) -> tuple[VFilter, ...]:
         return (self.base,) + self.deltas

@@ -23,11 +23,40 @@ from ..xpath.ast import Axis, WILDCARD
 from ..xpath.pattern import PatternNode, TreePattern
 
 __all__ = [
+    "SubtreeIndex",
     "evaluate",
     "evaluate_boolean",
     "evaluate_relative",
     "satisfies_relative",
 ]
+
+
+class SubtreeIndex:
+    """Node universe of one subtree with per-label postings.
+
+    Built once per materialized fragment and cached on it, so repeated
+    compensating-pattern evaluations (refinement, extraction) seed each
+    pattern node from its label's posting list instead of rescanning
+    and label-testing the whole subtree.  ``nodes[0]`` is the subtree
+    root.  Postings are in document order; the evaluator only uses them
+    as sets, so order is not load-bearing.
+    """
+
+    __slots__ = ("nodes", "_by_label")
+
+    def __init__(self, root: XMLNode):
+        self.nodes = list(root.iter_subtree())
+        by_label: dict[str, list[XMLNode]] = {}
+        for node in self.nodes:
+            by_label.setdefault(node.label, []).append(node)
+        self._by_label = by_label
+
+    @property
+    def root(self) -> XMLNode:
+        return self.nodes[0]
+
+    def with_label(self, label: str) -> list[XMLNode]:
+        return self._by_label.get(label, [])
 
 
 def _node_matches(pattern_node: PatternNode, tree_node: XMLNode) -> bool:
@@ -64,20 +93,44 @@ def _ancestor_closure(nodes: set[XMLNode]) -> set[XMLNode]:
 class _Evaluator:
     """Bottom-up feasibility sets for one pattern over one node universe."""
 
-    def __init__(self, pattern: TreePattern, universe: list[XMLNode]):
+    def __init__(
+        self,
+        pattern: TreePattern,
+        universe: list[XMLNode],
+        index: SubtreeIndex | None = None,
+    ):
         self.pattern = pattern
         self.universe = universe
+        #: Optional label postings over exactly ``universe``; callers
+        #: passing one guarantee ``index.nodes`` equals the universe.
+        self.index = index
         #: pattern-node id -> set of tree nodes hosting that subtree
         self.down: dict[int, set[XMLNode]] = {}
         #: pattern-node id -> ancestor closure of its down-set
         self._closures: dict[int, set[XMLNode]] = {}
         self._run()
 
+    def _seed(self, pattern_node: PatternNode) -> set[XMLNode]:
+        """Universe nodes matching the pattern node's label + constraints."""
+        if self.index is not None and pattern_node.label != WILDCARD:
+            posting = self.index.with_label(pattern_node.label)
+            if not pattern_node.constraints:
+                return set(posting)
+            return {
+                node
+                for node in posting
+                if all(
+                    constraint.matches(node.attributes)
+                    for constraint in pattern_node.constraints
+                )
+            }
+        return {
+            node for node in self.universe if _node_matches(pattern_node, node)
+        }
+
     def _run(self) -> None:
         for pattern_node in _pattern_postorder(self.pattern.root):
-            matched = {
-                node for node in self.universe if _node_matches(pattern_node, node)
-            }
+            matched = self._seed(pattern_node)
             for child in pattern_node.children:
                 if not matched:
                     break
@@ -153,21 +206,35 @@ def evaluate_boolean(pattern: TreePattern, tree: XMLTree) -> bool:
     return bool(evaluator.root_hosts(tree.root))
 
 
-def evaluate_relative(pattern: TreePattern, anchor: XMLNode) -> set[XMLNode]:
+def evaluate_relative(
+    pattern: TreePattern,
+    anchor: XMLNode,
+    index: SubtreeIndex | None = None,
+) -> set[XMLNode]:
     """Evaluate ``pattern`` anchored at ``anchor``.
 
     The pattern root must match ``anchor`` itself (labels and
     constraints); edges below are interpreted within the subtree of
     ``anchor``.  Used for compensating queries on materialized fragments.
+    ``index``, when given, must be a :class:`SubtreeIndex` built over
+    exactly ``anchor`` (fragments cache one); it replaces the per-call
+    subtree scan.
     """
-    subtree_nodes = list(anchor.iter_subtree())
-    evaluator = _Evaluator(pattern, subtree_nodes)
+    if index is not None:
+        subtree_nodes = index.nodes
+    else:
+        subtree_nodes = list(anchor.iter_subtree())
+    evaluator = _Evaluator(pattern, subtree_nodes, index)
     hosts = evaluator.down[id(pattern.root)]
     if anchor not in hosts:
         return set()
     return evaluator.answers_from({anchor})
 
 
-def satisfies_relative(pattern: TreePattern, anchor: XMLNode) -> bool:
+def satisfies_relative(
+    pattern: TreePattern,
+    anchor: XMLNode,
+    index: SubtreeIndex | None = None,
+) -> bool:
     """True when ``pattern`` (anchored at ``anchor``) has any embedding."""
-    return bool(evaluate_relative(pattern, anchor))
+    return bool(evaluate_relative(pattern, anchor, index))

@@ -13,13 +13,20 @@ algorithm (besides the set-DP evaluator and the BN/BF indexed variants):
    whose label matches the path's leaf (all nodes for a wildcard leaf).
    Each code's FST-derived label path yields its *instantiations*: the
    consistent assignments of the path's pattern nodes to code prefixes
-   (:func:`repro.core.twig_join.anchor_instantiations` — the same
-   machinery the view join uses).
+   (:func:`repro.core.twig_join.instantiate_path` — the same machinery
+   the view join uses).
 2. Join the per-path solutions on the pattern's *branching* nodes: two
    paths agree when they assign every shared pattern node the same
    concrete prefix.  A hash join keyed on the shared-node assignment
    tuple merges path solutions left to right.
 3. Project the answer node's assignments.
+
+Streams and assignments carry *packed* codes — order-preserving byte
+strings (:func:`repro.xmltree.dewey.pack_code`) — so stream sorts, hash
+joins and prefix bindings all compare flat bytes; only the final answer
+set is unpacked back to Dewey tuples.  A prebuilt
+:class:`repro.storage.index.DeweyStreamIndex` can supply the sorted
+streams directly (the ``TJ`` baseline caches one per document).
 
 Used as ground-truth cross-check in tests and as the ``TJ`` baseline.
 Complexity is output-sensitive: each leaf stream is scanned once, and
@@ -28,38 +35,59 @@ merging is hash-based on branching-node keys.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..xmltree.builder import EncodedDocument
-from ..xmltree.dewey import DeweyCode
+from ..xmltree.dewey import DeweyCode, PackedCode, packed_prefixes, unpack_code
 from ..xpath.ast import WILDCARD
 from ..xpath.pattern import PatternNode, TreePattern
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (storage →
+    # matching at runtime; the index is only an annotation here)
+    from ..storage.index import DeweyStreamIndex
 
 __all__ = ["tjfast_evaluate", "leaf_streams"]
 
 
 def leaf_streams(
-    pattern: TreePattern, document: EncodedDocument
-) -> dict[int, list[DeweyCode]]:
-    """Sorted code stream per pattern leaf (by leaf node id)."""
-    streams: dict[int, list[DeweyCode]] = {}
+    pattern: TreePattern,
+    document: EncodedDocument,
+    index: "DeweyStreamIndex | None" = None,
+) -> dict[int, list[PackedCode]]:
+    """Sorted packed-code stream per pattern leaf (by leaf node id).
+
+    With ``index`` the presorted per-label streams are shared; without
+    it the streams are built from the document's label index.
+    """
+    streams: dict[int, list[PackedCode]] = {}
     tree = document.tree
     for leaf in pattern.leaves():
-        if leaf.label == WILDCARD:
-            nodes = list(tree.iter_nodes())
+        if index is not None:
+            codes = (
+                index.all_codes()
+                if leaf.label == WILDCARD
+                else index.stream(leaf.label)
+            )
         else:
-            nodes = tree.nodes_with_label(leaf.label)
-        codes = sorted(
-            node.dewey for node in nodes if node.dewey is not None
-        )
+            if leaf.label == WILDCARD:
+                nodes = list(tree.iter_nodes())
+            else:
+                nodes = tree.nodes_with_label(leaf.label)
+            codes = sorted(
+                node.dewey_packed
+                for node in nodes
+                if node.dewey_packed is not None
+            )
         streams[id(leaf)] = codes
     return streams
 
 
 def _path_solutions(
     leaf: PatternNode,
-    stream: list[DeweyCode],
+    stream: list[PackedCode],
     document: EncodedDocument,
     interesting: set[int],
-) -> list[tuple[tuple[DeweyCode, ...], dict[int, DeweyCode]]]:
+) -> list[tuple[tuple[PackedCode, ...], dict[int, PackedCode]]]:
     """All (key, assignment) path solutions for one leaf stream.
 
     ``key`` is the assignment restricted to ``interesting`` pattern
@@ -68,15 +96,16 @@ def _path_solutions(
     """
     # Imported lazily: twig_join sits in repro.core, which imports this
     # package during its own initialization.
-    from ..core.twig_join import anchor_instantiations
+    from ..core.twig_join import instantiate_path
 
     path_nodes = leaf.root_path()
     shared = [node for node in path_nodes if id(node) in interesting]
     solutions = []
     fst = document.fst
     for code in stream:
-        labels = fst.decode(code)
-        for bound in anchor_instantiations(path_nodes, code, labels, {}):
+        labels = fst.decode_packed(code)
+        prefixes = packed_prefixes(code)
+        for bound in instantiate_path(path_nodes, prefixes, labels, {}):
             key = tuple(bound[id(node)] for node in shared)
             solutions.append((key, bound))
     return solutions
@@ -84,17 +113,17 @@ def _path_solutions(
 
 def _attributes_ok(
     pattern: TreePattern,
-    assignment: dict[int, DeweyCode],
+    assignment: dict[int, PackedCode],
     document: EncodedDocument,
 ) -> bool:
     """Check attribute constraints on the assigned concrete nodes."""
     for node in pattern.iter_nodes():
         if not node.constraints:
             continue
-        code = assignment.get(id(node))
-        if code is None:  # pragma: no cover - all nodes are assigned
+        packed = assignment.get(id(node))
+        if packed is None:  # pragma: no cover - all nodes are assigned
             return False
-        concrete = document.node_by_code(code)
+        concrete = document.node_by_code(unpack_code(packed))
         if concrete is None:
             return False
         if not all(c.matches(concrete.attributes) for c in node.constraints):
@@ -103,7 +132,9 @@ def _attributes_ok(
 
 
 def tjfast_evaluate(
-    pattern: TreePattern, document: EncodedDocument
+    pattern: TreePattern,
+    document: EncodedDocument,
+    index: "DeweyStreamIndex | None" = None,
 ) -> set[DeweyCode]:
     """Answer ``pattern`` from leaf streams + encodings only.
 
@@ -123,10 +154,10 @@ def tjfast_evaluate(
     for node in pattern.ret.root_path():
         interesting.add(id(node))
 
-    streams = leaf_streams(pattern, document)
+    streams = leaf_streams(pattern, document, index)
     has_constraints = any(node.constraints for node in pattern.iter_nodes())
 
-    merged: list[dict[int, DeweyCode]] | None = None
+    merged: list[dict[int, PackedCode]] | None = None
     for leaf in leaves:
         solutions = _path_solutions(
             leaf, streams[id(leaf)], document, interesting
@@ -143,12 +174,12 @@ def tjfast_evaluate(
             for node in leaf.root_path()
             if id(node) in interesting and id(node) in _assigned_ids(merged)
         ]
-        table: dict[tuple, list[dict[int, DeweyCode]]] = {}
+        table: dict[tuple[PackedCode, ...], list[dict[int, PackedCode]]] = {}
         for assignment in merged:
             key = tuple(assignment[node_id] for node_id in shared_ids)
             table.setdefault(key, []).append(assignment)
-        next_merged: list[dict[int, DeweyCode]] = []
-        seen: set[tuple] = set()
+        next_merged: list[dict[int, PackedCode]] = []
+        seen: set[tuple[tuple[int, PackedCode], ...]] = set()
         for _key, bound in solutions:
             key = tuple(bound[node_id] for node_id in shared_ids)
             for assignment in table.get(key, []):
@@ -170,9 +201,9 @@ def tjfast_evaluate(
             pattern, assignment, document
         ):
             continue
-        answers.add(assignment[ret_id])
+        answers.add(unpack_code(assignment[ret_id]))
     return answers
 
 
-def _assigned_ids(merged: list[dict[int, DeweyCode]]) -> set[int]:
+def _assigned_ids(merged: list[dict[int, PackedCode]]) -> set[int]:
     return set(merged[0]) if merged else set()

@@ -18,7 +18,8 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import StorageError
-from ..xmltree.dewey import DeweyCode
+from ..matching.evaluate import SubtreeIndex
+from ..xmltree.dewey import DeweyCode, PackedCode, pack_code, packed_prefixes
 from ..xmltree.tree import XMLNode
 from .kvstore import KVStore
 from .serialize import (
@@ -38,11 +39,19 @@ DEFAULT_FRAGMENT_CAP = 128 * 1024
 
 @dataclass(slots=True)
 class Fragment:
-    """One materialized fragment: root code + lazily decoded subtree."""
+    """One materialized fragment: root code + lazily decoded subtree.
+
+    The packed root code, its per-depth packed prefixes and a label
+    index of the decoded subtree are computed once per Fragment object
+    and amortized across queries by the store's warm cache.
+    """
 
     code: DeweyCode
     _payload: bytes
     _root: XMLNode | None = None
+    _packed: PackedCode | None = None
+    _prefixes: tuple[PackedCode, ...] | None = None
+    _subtree: SubtreeIndex | None = None
 
     @property
     def root(self) -> XMLNode:
@@ -52,6 +61,28 @@ class Fragment:
             assert code == self.code
             self._root, _ = decode_fragment(self._payload, offset)
         return self._root
+
+    @property
+    def packed(self) -> PackedCode:
+        """Packed (order-preserving bytes) form of the root code."""
+        if self._packed is None:
+            self._packed = pack_code(self.code)
+        return self._packed
+
+    @property
+    def prefixes(self) -> tuple[PackedCode, ...]:
+        """Packed prefixes of the root code, shortest first — the join's
+        replacement for per-placement ``code[:k]`` tuple slicing."""
+        if self._prefixes is None:
+            self._prefixes = packed_prefixes(self.packed)
+        return self._prefixes
+
+    def subtree_index(self) -> SubtreeIndex:
+        """Label postings over the decoded subtree, built once; drives
+        refinement and extraction without rescanning the fragment."""
+        if self._subtree is None:
+            self._subtree = SubtreeIndex(self.root)
+        return self._subtree
 
     @property
     def stored_bytes(self) -> int:

@@ -18,12 +18,20 @@ reported.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
+
+from ..xmltree.dewey import PackedCode, packed_descendant_range
 from ..xmltree.tree import XMLNode, XMLTree
 from ..xpath.ast import Axis, WILDCARD
 from ..xpath.pattern import PatternNode, TreePattern
 from .. import matching
 
-__all__ = ["NodeIndex", "FullPathIndex", "match_path_steps"]
+__all__ = [
+    "NodeIndex",
+    "FullPathIndex",
+    "DeweyStreamIndex",
+    "match_path_steps",
+]
 
 
 def match_path_steps(steps: list[tuple[Axis, str]], labels: tuple[str, ...]) -> bool:
@@ -105,6 +113,64 @@ class NodeIndex:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<NodeIndex labels={len(self._by_label)} nodes={self._total_nodes}>"
+
+
+class DeweyStreamIndex:
+    """Per-label streams of *packed* Dewey codes, in document order.
+
+    The TJFast baseline's stream source: one pass over an encoded
+    document yields, per label, the sorted byte-string codes of its
+    nodes (packed order equals document order, so the lists arrive
+    presorted from the traversal and the safety sorts below are linear
+    passes).  :meth:`descendant_slice` range-scans one stream
+    with the packed key range of
+    :func:`repro.xmltree.dewey.packed_descendant_range` — the byte-key
+    analogue of a B-tree range probe over ``(label, code)``.
+    """
+
+    def __init__(self, tree: XMLTree) -> None:
+        self.tree = tree
+        self._by_label: dict[str, list[PackedCode]] = {}
+        self._all: list[PackedCode] = []
+        for node in tree.iter_nodes():
+            packed = node.dewey_packed
+            if packed is None:
+                continue
+            self._by_label.setdefault(node.label, []).append(packed)
+            self._all.append(packed)
+        self._all.sort()
+        for stream in self._by_label.values():
+            stream.sort()
+
+    def stream(self, label: str) -> list[PackedCode]:
+        """Sorted packed codes of every node labeled ``label``."""
+        return self._by_label.get(label, [])
+
+    def all_codes(self) -> list[PackedCode]:
+        """Sorted packed codes of every encoded node (wildcard stream)."""
+        return self._all
+
+    def descendant_slice(
+        self, label: str, ancestor: PackedCode
+    ) -> list[PackedCode]:
+        """Codes labeled ``label`` inside the subtree of ``ancestor``
+        (descendant-or-self), via a packed byte-range bisection."""
+        stream = self._by_label.get(label)
+        if not stream:
+            return []
+        low, high = packed_descendant_range(ancestor)
+        return stream[bisect_left(stream, low):bisect_right(stream, high)]
+
+    @property
+    def stored_bytes(self) -> int:
+        """Exact posting payload: the packed code bytes themselves."""
+        return sum(len(code) for code in self._all)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DeweyStreamIndex labels={len(self._by_label)} "
+            f"codes={len(self._all)}>"
+        )
 
 
 class FullPathIndex:

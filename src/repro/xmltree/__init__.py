@@ -3,6 +3,7 @@
 from .builder import EncodedDocument, encode_tree
 from .dewey import (
     DeweyCode,
+    PackedCode,
     common_prefix,
     descendant_range_key,
     format_code,
@@ -10,7 +11,14 @@ from .dewey import (
     is_ancestor_or_self,
     is_parent,
     is_prefix,
+    pack_code,
+    pack_component,
+    packed_depth,
+    packed_descendant_range,
+    packed_is_prefix,
+    packed_prefixes,
     parse_code,
+    unpack_code,
 )
 from .fst import FiniteStateTransducer
 from .parser import parse_xml, parse_xml_file
@@ -23,6 +31,7 @@ __all__ = [
     "DocumentSchema",
     "EncodedDocument",
     "FiniteStateTransducer",
+    "PackedCode",
     "XMLNode",
     "XMLTree",
     "build_tree",
@@ -34,9 +43,16 @@ __all__ = [
     "is_ancestor_or_self",
     "is_parent",
     "is_prefix",
+    "pack_code",
+    "pack_component",
+    "packed_depth",
+    "packed_descendant_range",
+    "packed_is_prefix",
+    "packed_prefixes",
     "parse_code",
     "parse_xml",
     "parse_xml_file",
     "serialize",
     "serialize_node",
+    "unpack_code",
 ]

@@ -10,7 +10,7 @@ bundles the tree, schema and FST — the triple every downstream component
 
 from __future__ import annotations
 
-from .dewey import DeweyCode, assign_child_component
+from .dewey import DeweyCode, assign_child_component, pack_component
 from .fst import FiniteStateTransducer
 from .schema import DocumentSchema
 from .tree import XMLNode, XMLTree
@@ -67,6 +67,7 @@ def encode_tree(
         schema = DocumentSchema.from_tree(tree)
 
     tree.root.dewey = (0,)
+    tree.root.dewey_packed = pack_component(0)
     # Iterative DFS; each stack entry is a node whose children still need
     # codes.  Components are assigned in sibling order.
     stack: list[XMLNode] = [tree.root]
@@ -79,6 +80,8 @@ def encode_tree(
             )
             previous = component
             assert parent.dewey is not None
+            assert parent.dewey_packed is not None
             child.dewey = parent.dewey + (component,)
+            child.dewey_packed = parent.dewey_packed + pack_component(component)
             stack.append(child)
     return EncodedDocument(tree, schema)

@@ -14,7 +14,7 @@ predicates on fragment roots without accessing base data.
 from __future__ import annotations
 
 from ..errors import EncodingError, SchemaError
-from .dewey import DeweyCode
+from .dewey import DeweyCode, PackedCode, unpack_code
 from .schema import DocumentSchema
 
 __all__ = ["FiniteStateTransducer"]
@@ -23,7 +23,7 @@ __all__ = ["FiniteStateTransducer"]
 class FiniteStateTransducer:
     """Decoder from extended Dewey codes to root-to-node label paths."""
 
-    __slots__ = ("schema", "_cache")
+    __slots__ = ("schema", "_cache", "_packed_cache")
 
     def __init__(self, schema: DocumentSchema):
         self.schema = schema
@@ -31,6 +31,10 @@ class FiniteStateTransducer:
         # cluster under few ancestors, so the cache hit rate during joins
         # is high.
         self._cache: dict[DeweyCode, tuple[str, ...]] = {}
+        # Flat packed-key cache layered over the tuple cache; packed keys
+        # hash faster than tuples, so repeat decodes of the same fragment
+        # roots skip tuple reconstruction entirely.
+        self._packed_cache: dict[PackedCode, tuple[str, ...]] = {}
 
     def decode(self, code: DeweyCode) -> tuple[str, ...]:
         """Return the root-to-node label path for ``code``.
@@ -77,13 +81,32 @@ class FiniteStateTransducer:
         self._cache[code] = decoded
         return decoded
 
+    def decode_packed(self, packed: PackedCode) -> tuple[str, ...]:
+        """Decode a packed code (see :func:`repro.xmltree.dewey.pack_code`).
+
+        Equivalent to ``decode(unpack_code(packed))`` with its own cache
+        keyed by the packed bytes, so hot joins that carry only packed
+        keys never rebuild the int tuple on a repeat decode.
+        """
+        cached = self._packed_cache.get(packed)
+        if cached is not None:
+            return cached
+        decoded = self.decode(unpack_code(packed))
+        self._packed_cache[packed] = decoded
+        return decoded
+
     def label_of(self, code: DeweyCode) -> str:
         """Return just the label of the node encoded by ``code``."""
         return self.decode(code)[-1]
 
+    def label_of_packed(self, packed: PackedCode) -> str:
+        """Return just the label of the node encoded by ``packed``."""
+        return self.decode_packed(packed)[-1]
+
     def clear_cache(self) -> None:
         """Drop the decode cache (e.g. after switching documents)."""
         self._cache.clear()
+        self._packed_cache.clear()
 
     def transitions(self) -> dict[str, tuple[str, ...]]:
         """Return the FST transition table, ``state -> ordered child labels``.

@@ -14,6 +14,8 @@ deterministic for a fixed document).
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..errors import SchemaError
 from .tree import XMLTree
 
@@ -116,7 +118,7 @@ class DocumentSchema:
     # ------------------------------------------------------------------
     # serialization (used by the storage layer)
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Return a JSON-compatible representation."""
         return {
             "root": self.root_label,
@@ -127,6 +129,6 @@ class DocumentSchema:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "DocumentSchema":
+    def from_dict(cls, payload: dict[str, Any]) -> "DocumentSchema":
         """Inverse of :meth:`to_dict`."""
         return cls(payload["root"], payload["children"])

@@ -48,21 +48,21 @@ def serialize_node(node: XMLNode, indent: int | None = None) -> str:
         round-trips exactly.
     """
     parts: list[str] = []
-    # Work stack holds either ("open", node, depth) or ("close", text, depth).
-    stack: list[tuple[str, object, int]] = [("open", node, 0)]
+    # Work stack holds a node still to open, or a (label, text) close
+    # marker for an element whose children have already been pushed.
+    stack: list[tuple[XMLNode | tuple[str, str | None], int]] = [(node, 0)]
     while stack:
-        kind, payload, depth = stack.pop()
+        payload, depth = stack.pop()
         prefix = "" if indent is None else " " * (indent * depth)
         newline = "" if indent is None else "\n"
-        if kind == "close":
-            label, text = payload  # type: ignore[misc]
+        if isinstance(payload, tuple):
+            label, text = payload
             if text:
                 parts.append(f"{_escape_text(text)}</{label}>{newline}")
             else:
                 parts.append(f"{prefix}</{label}>{newline}")
             continue
-        element = payload  # type: ignore[assignment]
-        assert isinstance(element, XMLNode)
+        element = payload
         if not element.children and element.text is None:
             parts.append(f"{prefix}{_start_tag(element, True)}{newline}")
             continue
@@ -73,9 +73,9 @@ def serialize_node(node: XMLNode, indent: int | None = None) -> str:
             )
             continue
         parts.append(f"{prefix}{_start_tag(element, False)}{newline}")
-        stack.append(("close", (element.label, element.text), depth))
+        stack.append(((element.label, element.text), depth))
         for child in reversed(element.children):
-            stack.append(("open", child, depth + 1))
+            stack.append((child, depth + 1))
     return "".join(parts)
 
 

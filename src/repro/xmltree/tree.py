@@ -36,7 +36,15 @@ class XMLNode:
         Attribute name/value mapping; stored as a plain dict.
     """
 
-    __slots__ = ("label", "text", "attributes", "parent", "children", "dewey")
+    __slots__ = (
+        "label",
+        "text",
+        "attributes",
+        "parent",
+        "children",
+        "dewey",
+        "dewey_packed",
+    )
 
     def __init__(
         self,
@@ -54,6 +62,9 @@ class XMLNode:
         # Extended Dewey code, assigned by repro.xmltree.builder; a tuple
         # of ints, or None before assignment.
         self.dewey: tuple[int, ...] | None = None
+        # Packed (order-preserving bytes) form of the same code, kept in
+        # lockstep with ``dewey`` by every assigner.
+        self.dewey_packed: bytes | None = None
 
     # ------------------------------------------------------------------
     # construction

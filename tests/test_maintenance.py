@@ -192,3 +192,49 @@ class TestRandomizedMaintenance:
                     for n in evaluate_(view.pattern, system.document.tree)
                 }
                 assert stored == fresh, view.to_xpath()
+
+
+class TestMemoCarryOver:
+    """Epoch-swap carry-over: registration keeps CoverageMemo entries
+    for untouched views; maintenance evicts exactly the touched ones."""
+
+    def test_registration_keeps_existing_entries(self):
+        system = _book_system()
+        system.answer("//s[t]/p")  # populate memo for V1/V2/VT
+        computed_before = system._memo.stats()["coverage_computed"]
+        system.register_view("V3", "//b//p")
+        system.answer("//s[t]/p")
+        stats = system._memo.stats()
+        # the new epoch's cold derivation re-used every cached pair of
+        # the pre-registration views: only the new view computes
+        assert stats["coverage_evicted"] == 0
+        recomputed = stats["coverage_computed"] - computed_before
+        assert recomputed <= 1  # at most V3's fresh pair
+        assert stats["coverage_served"] > 0
+
+    def test_maintenance_evicts_touched_views_only(self):
+        system = _book_system()
+        editor = DocumentEditor(system)
+        system.answer("//s[t]/p")
+        from repro.xpath import parse_xpath
+
+        query_key = parse_xpath("//s[t]/p").canonical_string()
+        query_slot = system._memo._queries[query_key]
+        assert "V1" in query_slot.units
+        cached_before = dict(query_slot.units)
+        # grow a fragment of V1: insert below one of its stored answers
+        p_code = system.answer("//s[t]/p").codes[0]
+        report = editor.insert_subtree(p_code, XMLNode("t"))
+        assert "V1" in report.affected_views
+        stats = system._memo.stats()
+        assert stats["coverage_evicted"] > 0
+        # touched views' entries are gone, untouched views keep theirs
+        for view_id in report.affected_views:
+            assert view_id not in query_slot.units
+        for view_id in report.skipped_views:
+            if view_id in cached_before:
+                assert query_slot.units[view_id] is cached_before[view_id]
+        # and answers stay correct afterwards
+        assert system.answer("//s[t]/p").codes == system.direct_codes(
+            "//s[t]/p"
+        )

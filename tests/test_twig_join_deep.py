@@ -10,7 +10,7 @@ from repro.core.refine import refine_unit
 from repro.core.twig_join import join_units
 from repro.matching import evaluate
 from repro.storage import FragmentStore
-from repro.xmltree import build_tree, encode_tree
+from repro.xmltree import build_tree, encode_tree, unpack_code
 from repro.xpath import parse_xpath
 
 from conftest import random_pattern, random_tree
@@ -50,8 +50,9 @@ class TestTwoUnitJoin:
         delta = next(u for u in units if u.unit.provides_delta)
         surviving = join_units(units, query, doc.fst, delta)
         assert len(surviving) == 1
-        # the surviving root is under the third s
-        assert doc.node_by_code(surviving[0]).parent.children[0].label == "t"
+        # the surviving root is under the third s (packed codes come back)
+        root_code = unpack_code(surviving[0])
+        assert doc.node_by_code(root_code).parent.children[0].label == "t"
 
     def test_join_rejects_different_parents(self):
         spec = ("r", [("s", ["t", "p"]), ("s", ["f", "p"])])
@@ -84,7 +85,7 @@ class TestTwoUnitJoin:
         # both p's under the first s qualify
         assert len(surviving) == 2
         for code in surviving:
-            assert doc.fst.decode(code)[-1] == "p"
+            assert doc.fst.decode_packed(code)[-1] == "p"
 
 
 class TestThreeUnitJoin:
@@ -118,7 +119,7 @@ class TestUpperSkeletonVerification:
         delta = next(u for u in units if u.unit.provides_delta)
         surviving = join_units(units, query, doc.fst, delta)
         assert len(surviving) == 1
-        assert doc.fst.decode(surviving[0])[:2] == ("r", "a")
+        assert doc.fst.decode_packed(surviving[0])[:2] == ("r", "a")
 
     def test_root_axis_pins_document_root(self):
         spec = ("a", [("a", ["b"]), "b"])
@@ -128,7 +129,7 @@ class TestUpperSkeletonVerification:
         delta = units[0]
         surviving = join_units(units, query, doc.fst, delta)
         # only the document root's own b child
-        assert surviving == [doc.tree.root.children[1].dewey]
+        assert surviving == [doc.tree.root.children[1].dewey_packed]
 
 
 class TestJoinAgainstTruth:
@@ -153,7 +154,7 @@ class TestJoinAgainstTruth:
             return
         refined = refine_unit(units[0], query, store.fragments("V"))
         surviving = set(join_units([refined], query, doc.fst, refined))
-        truth_roots = {n.dewey for n in answers}
+        truth_roots = {n.dewey_packed for n in answers}
         # anchored at RET(Q) with an equivalent view, the join must keep
         # exactly the true answers
         assert surviving == truth_roots

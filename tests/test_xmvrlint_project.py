@@ -364,6 +364,38 @@ def test_l8_covers_memo_intern_sink(tmp_path):
     assert _rules_hit(violations) == {"L8"}
 
 
+def test_l8_covers_memo_evict_views_sink(tmp_path):
+    # Carry-over eviction keys select which memo entries survive an
+    # epoch — an impure producer must be flagged like any cache key.
+    source = """
+        import time
+
+        class XMVRSystem:
+            def _touched(self):
+                return [str(time.time())]
+
+            def refresh(self):
+                gone = self._touched()
+                return self._memo.evict_views(gone)
+    """
+    violations = _lint_snippet(tmp_path, "core/system.py", source, ["L8"])
+    assert _rules_hit(violations) == {"L8"}
+    assert "_touched" in violations[0].message
+
+
+def test_l8_accepts_pure_evict_views_producer(tmp_path):
+    source = """
+        class XMVRSystem:
+            def _touched(self, edits):
+                return sorted(set(edits))
+
+            def refresh(self, edits):
+                gone = self._touched(edits)
+                return self._memo.evict_views(gone)
+    """
+    assert _lint_snippet(tmp_path, "core/system.py", source, ["L8"]) == []
+
+
 # ----------------------------------------------------------------------
 # L9 — import layering
 # ----------------------------------------------------------------------
