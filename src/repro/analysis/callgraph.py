@@ -50,6 +50,7 @@ ATTR_CLASSES: dict[str, tuple[str, ...]] = {
     "fragments": ("FragmentStore",),
     "vfilter": ("VFilter",),
     "_plan_cache": ("PlanCache",),
+    "plan_cache": ("PlanCache",),
     "_memo": ("CoverageMemo",),
     "store": ("KVStore",),
     "system": ("MaterializedViewSystem", "XMVRSystem"),

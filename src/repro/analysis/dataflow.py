@@ -38,14 +38,20 @@ definition without an import cycle.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Iterator, Mapping, TypeVar
 
 __all__ = [
     "CallRef",
     "WriteRef",
+    "ReadRef",
     "Step",
+    "LockRec",
+    "GuardRec",
+    "ClassRec",
     "FunctionSummary",
     "ImportRec",
     "FileSummary",
@@ -151,6 +157,22 @@ class WriteRef:
 
 
 @dataclass(frozen=True, slots=True)
+class ReadRef:
+    """One attribute-chain load performed by a step.
+
+    Only *maximal* chains are recorded: ``self._epoch.plan_cache`` is
+    one read of ``('self', '_epoch', 'plan_cache')``, not three nested
+    reads.  The concurrency rules (L10/L12) match guarded fields
+    against any position in the chain, so a read *through* a field
+    still counts as a read *of* it.
+    """
+
+    chain: tuple[str, ...]
+    lineno: int
+    fresh: bool = False
+
+
+@dataclass(frozen=True, slots=True)
 class Step:
     """One abstract statement of the IR.
 
@@ -166,9 +188,15 @@ class Step:
     lineno: int
     calls: tuple[CallRef, ...] = ()
     writes: tuple[WriteRef, ...] = ()
+    reads: tuple[ReadRef, ...] = ()
     #: ``x = f(...)`` bindings: (local name, callee chain) pairs, so L8
     #: can chase a cache key back to the call that produced it.
     binds: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    #: For ``with`` steps: the attribute chain of each plain
+    #: Name/Attribute context expression (``with self._lock:`` →
+    #: ``('self', '_lock')``).  The lock-set walker treats these as
+    #: acquisitions scoped to the step's body.
+    contexts: tuple[tuple[str, ...], ...] = ()
     has_value: bool = False
     body: tuple["Step", ...] = ()
     orelse: tuple["Step", ...] = ()
@@ -219,6 +247,51 @@ class ImportRec:
 
 
 @dataclass(frozen=True, slots=True)
+class LockRec:
+    """One ``threading.Lock/RLock/Condition`` instance attribute.
+
+    Auto-detected from ``self.X = threading.Lock()``-style assignments;
+    ``blocking_allowed`` comes from a ``#: lock: blocking-allowed``
+    comment on (or just above) the declaration and exempts the lock
+    from rule L14.
+    """
+
+    classname: str
+    attr: str
+    kind: str  # "Lock" | "RLock" | "Condition"
+    blocking_allowed: bool = False
+    lineno: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class GuardRec:
+    """One ``#: guarded-by: <lock>`` field annotation.
+
+    ``mode`` is ``"all"`` (every access must hold the lock) or
+    ``"writes"`` (writes locked, lock-free reads are by design — the
+    double-checked / monotonic-publish idiom).  ``pin_once`` marks
+    fields under rule L12's bind-once discipline.
+    """
+
+    classname: str
+    attr: str
+    lock: str
+    mode: str = "all"
+    pin_once: bool = False
+    lineno: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ClassRec:
+    """One class definition: name plus whether it is a frozen
+    dataclass (rule L13's snapshot-immutability witness)."""
+
+    name: str
+    lineno: int
+    frozen: bool = False
+
+
+@dataclass(frozen=True, slots=True)
 class FileSummary:
     """Per-file facts consumed by the project-level passes."""
 
@@ -227,6 +300,9 @@ class FileSummary:
     imports: tuple[ImportRec, ...] = ()
     functions: tuple[FunctionSummary, ...] = ()
     class_names: tuple[str, ...] = ()
+    locks: tuple[LockRec, ...] = ()
+    guards: tuple[GuardRec, ...] = ()
+    classes: tuple[ClassRec, ...] = ()
 
 
 # ======================================================================
@@ -394,6 +470,28 @@ class _FunctionLowerer:
                     )
         return tuple(calls)
 
+    def _expr_reads(self, exprs: Iterable[ast.expr]) -> tuple[ReadRef, ...]:
+        """Maximal attribute-chain loads inside eager expressions."""
+        reads: list[ReadRef] = []
+        stack: list[ast.AST] = list(exprs)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.Attribute):
+                chain = attr_chain(node)
+                if chain is not None and len(chain) >= 2:
+                    reads.append(
+                        ReadRef(
+                            chain=chain,
+                            lineno=getattr(node, "lineno", 0),
+                            fresh=chain[0] in self.fresh,
+                        )
+                    )
+                    continue  # maximal chain: do not record sub-chains
+            stack.extend(ast.iter_child_nodes(node))
+        return tuple(reads)
+
     @staticmethod
     def _arg_chain(arg: ast.expr) -> tuple[str, ...] | None:
         if isinstance(arg, (ast.Name, ast.Attribute)):
@@ -499,21 +597,24 @@ class _FunctionLowerer:
             return None
         calls = self._expr_calls(self._eager_exprs(stmt))
         writes = self._write_targets(stmt)
+        reads = self._expr_reads(self._eager_exprs(stmt))
         lineno = stmt.lineno
         if isinstance(stmt, ast.Return):
             return Step(
                 kind="return",
                 lineno=lineno,
                 calls=calls,
+                reads=reads,
                 has_value=stmt.value is not None,
             )
         if isinstance(stmt, ast.Raise):
-            return Step(kind="raise", lineno=lineno, calls=calls)
+            return Step(kind="raise", lineno=lineno, calls=calls, reads=reads)
         if isinstance(stmt, ast.If):
             return Step(
                 kind="if",
                 lineno=lineno,
                 calls=calls,
+                reads=reads,
                 body=self.lower_block(stmt.body),
                 orelse=self.lower_block(stmt.orelse),
             )
@@ -522,14 +623,23 @@ class _FunctionLowerer:
                 kind="loop",
                 lineno=lineno,
                 calls=calls,
+                reads=reads,
                 body=self.lower_block(stmt.body),
                 orelse=self.lower_block(stmt.orelse),
             )
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            contexts: list[tuple[str, ...]] = []
+            for item in stmt.items:
+                if isinstance(item.context_expr, (ast.Name, ast.Attribute)):
+                    chain = attr_chain(item.context_expr)
+                    if chain is not None:
+                        contexts.append(chain)
             return Step(
                 kind="with",
                 lineno=lineno,
                 calls=calls,
+                reads=reads,
+                contexts=tuple(contexts),
                 body=self.lower_block(stmt.body),
             )
         if isinstance(stmt, ast.Try) or (
@@ -557,7 +667,12 @@ class _FunctionLowerer:
             if chain is not None:
                 binds = ((stmt.targets[0].id, chain),)
         return Step(
-            kind="simple", lineno=lineno, calls=calls, writes=writes, binds=binds
+            kind="simple",
+            lineno=lineno,
+            calls=calls,
+            writes=writes,
+            reads=reads,
+            binds=binds,
         )
 
 
@@ -692,8 +807,165 @@ def _resolve_import(module: str, target: str, level: int) -> str:
     return ".".join(base)
 
 
-def summarize_module(tree: ast.Module, relpath: str) -> FileSummary:
-    """Lower one parsed module to its :class:`FileSummary`."""
+# ======================================================================
+# concurrency-record extraction (locks, guarded-by annotations, classes)
+# ======================================================================
+_GUARDED_BY_RE = re.compile(
+    r"#:\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)\s*(?:\(([^)]*)\))?"
+)
+_LOCK_FLAG_RE = re.compile(r"#:\s*lock:\s*blocking-allowed\b")
+_LOCK_CTORS = {"Lock", "RLock", "Condition"}
+
+
+def _comment_lines(source: str) -> dict[int, str]:
+    """Line → comment text, via tokenize (comments are invisible to
+    the AST but carry the guarded-by grammar)."""
+    comments: dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def _lock_kind(value: ast.expr | None) -> str | None:
+    """``threading.Lock()`` / ``Condition(...)`` → the ctor name."""
+    if not isinstance(value, ast.Call):
+        return None
+    if not isinstance(value.func, (ast.Name, ast.Attribute)):
+        return None
+    chain = attr_chain(value.func)
+    if chain is None or chain[-1] not in _LOCK_CTORS:
+        return None
+    return chain[-1]
+
+
+def _concurrency_records(
+    tree: ast.Module, source: str | None
+) -> tuple[tuple[LockRec, ...], tuple[GuardRec, ...], tuple[ClassRec, ...]]:
+    """Extract lock declarations, guarded-by annotations and class
+    records from one module.
+
+    An annotation comment binds to the first ``self.X = ...``
+    assignment on the same line or within the three following lines;
+    each comment binds at most once, so runs of consecutively
+    annotated fields resolve pairwise.
+    """
+    comments = _comment_lines(source) if source else {}
+    consumed: set[int] = set()
+
+    def annotation_at(
+        lineno: int, regex: re.Pattern[str]
+    ) -> "re.Match[str] | None":
+        for probe in range(lineno, lineno - 4, -1):
+            if probe in consumed:
+                continue
+            text = comments.get(probe)
+            if text is None:
+                continue
+            match = regex.search(text)
+            if match is not None:
+                consumed.add(probe)
+                return match
+        return None
+
+    locks: list[LockRec] = []
+    guards: dict[tuple[str, str], GuardRec] = {}
+    classes: list[ClassRec] = []
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        frozen = False
+        for decorator in node.decorator_list:
+            probe: ast.expr = decorator
+            frozen_kw = False
+            if isinstance(probe, ast.Call):
+                frozen_kw = any(
+                    keyword.arg == "frozen"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                    for keyword in probe.keywords
+                )
+                probe = probe.func
+            chain = (
+                attr_chain(probe)
+                if isinstance(probe, (ast.Attribute, ast.Name))
+                else None
+            )
+            if chain and chain[-1] == "dataclass" and frozen_kw:
+                frozen = True
+        classes.append(
+            ClassRec(name=node.name, lineno=node.lineno, frozen=frozen)
+        )
+        sites: list[tuple[int, str, ast.expr | None]] = []
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign):
+                targets: list[ast.expr] = list(sub.targets)
+                value: ast.expr | None = sub.value
+            elif isinstance(sub, ast.AnnAssign):
+                targets = [sub.target]
+                value = sub.value
+            else:
+                continue
+            for target in targets:
+                chain = (
+                    attr_chain(target)
+                    if isinstance(target, ast.Attribute)
+                    else None
+                )
+                if chain is None or len(chain) != 2 or chain[0] != "self":
+                    continue
+                sites.append((sub.lineno, chain[1], value))
+        seen_locks: set[str] = set()
+        for lineno, attr, value in sorted(sites):
+            kind = _lock_kind(value)
+            if kind is not None:
+                if attr not in seen_locks:
+                    seen_locks.add(attr)
+                    flag = annotation_at(lineno, _LOCK_FLAG_RE) is not None
+                    locks.append(
+                        LockRec(
+                            classname=node.name,
+                            attr=attr,
+                            kind=kind,
+                            blocking_allowed=flag,
+                            lineno=lineno,
+                        )
+                    )
+                continue
+            match = annotation_at(lineno, _GUARDED_BY_RE)
+            if match is None or (node.name, attr) in guards:
+                continue
+            mode = "all"
+            pin_once = False
+            for option in (match.group(2) or "").split(","):
+                option = option.strip()
+                if option == "writes":
+                    mode = "writes"
+                elif option == "pin-once":
+                    pin_once = True
+            guards[(node.name, attr)] = GuardRec(
+                classname=node.name,
+                attr=attr,
+                lock=match.group(1),
+                mode=mode,
+                pin_once=pin_once,
+                lineno=lineno,
+            )
+    return tuple(locks), tuple(guards.values()), tuple(classes)
+
+
+def summarize_module(
+    tree: ast.Module, relpath: str, source: str | None = None
+) -> FileSummary:
+    """Lower one parsed module to its :class:`FileSummary`.
+
+    ``source`` (when available) feeds the comment-level concurrency
+    annotations; without it the lock/class records still extract from
+    the AST but guarded-by annotations are absent.
+    """
     module = module_name_for(relpath)
     imports: list[ImportRec] = []
     functions: list[FunctionSummary] = []
@@ -724,12 +996,16 @@ def summarize_module(tree: ast.Module, relpath: str) -> FileSummary:
                             member, f"{node.name}.", node.name
                         )
                     )
+    locks, guards, classes = _concurrency_records(tree, source)
     return FileSummary(
         relpath=relpath,
         module=module,
         imports=tuple(imports),
         functions=tuple(functions),
         class_names=tuple(class_names),
+        locks=locks,
+        guards=guards,
+        classes=classes,
     )
 
 

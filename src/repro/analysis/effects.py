@@ -73,13 +73,22 @@ __all__ = [
 # ======================================================================
 @dataclass(frozen=True, slots=True)
 class Effect:
-    """One function's inferred effects; join is pointwise or."""
+    """One function's inferred effects; join is pointwise or.
+
+    ``blocks`` marks functions that may block the calling thread for an
+    unbounded time (I/O, sleeps, queue waits, thread joins, explicit
+    ``acquire``).  ``Condition.wait`` is deliberately *not* folded in:
+    a gate helper that waits on its own condition releases the lock
+    while parked, so it must not poison every caller — rule L14 checks
+    direct ``wait`` sites against the held set instead.
+    """
 
     mutates: bool = False
     reads: bool = False
     io: bool = False
     clock: bool = False
     raises: bool = False
+    blocks: bool = False
 
     def join(self, other: "Effect") -> "Effect":
         return Effect(
@@ -88,6 +97,7 @@ class Effect:
             io=self.io or other.io,
             clock=self.clock or other.clock,
             raises=self.raises or other.raises,
+            blocks=self.blocks or other.blocks,
         )
 
     @property
@@ -167,6 +177,35 @@ def _call_io(call: CallRef, imports: dict[str, str]) -> bool:
     if chain[0] in IO_ROOTS:
         return True
     return call.name in IO_METHODS and not call.receiver_fresh
+
+
+def _call_blocking(call: CallRef, imports: dict[str, str]) -> bool:
+    """May this call park the calling thread for an unbounded time?
+
+    I/O is blocking; so are ``time.sleep``, blocking ``queue``
+    get/put (the ``*_nowait`` variants are not), joining something
+    that looks like a thread, and an explicit ``acquire``.  Receiver
+    shape is the discriminator for the method families — ``list.get``
+    does not exist, but ``dict.get`` does, so ``get``/``put`` only
+    count when the receiver chain mentions a queue.
+    """
+    if _call_io(call, imports):
+        return True
+    chain = call.chain
+    name = call.name
+    if name == "sleep" and (
+        (len(chain) > 1 and chain[0] == "time")
+        or (len(chain) == 1 and imports.get("sleep", "").startswith("time"))
+    ):
+        return True
+    if name == "acquire":
+        return True
+    receiver_text = "_".join(chain[:-1]).lower()
+    if name == "join" and "thread" in receiver_text:
+        return True
+    if name in ("get", "put") and "queue" in receiver_text:
+        return True
+    return False
 
 
 # ======================================================================
@@ -280,6 +319,7 @@ def _direct_effect(
     io = False
     clock = False
     raises = False
+    blocks = False
     for step in function.iter_steps():
         if step.kind == "raise":
             raises = True
@@ -298,7 +338,12 @@ def _direct_effect(
             if _call_io(call, imports):
                 io = True
             if call in resolved:
+                # Resolved project calls contribute via the fixpoint;
+                # name-based I/O / blocking heuristics would misfire on
+                # project methods that happen to be called ``read``.
                 continue
+            if _call_blocking(call, imports):
+                blocks = True
             if (
                 len(call.chain) > 1
                 and call.name in GENERIC_MUTATORS
@@ -312,6 +357,7 @@ def _direct_effect(
         io=io,
         clock=clock,
         raises=raises or io,
+        blocks=blocks,
     )
 
 

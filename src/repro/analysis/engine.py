@@ -14,7 +14,10 @@ A comment anywhere on a flagged line (for function-level rules: the
 
 ``disable=all`` disables every rule for the line, and
 ``disable-file=L4`` (on any line) disables a rule for the whole file.
-Text after the rule list is ignored, so justifications are free-form.
+Text after the rule list is free-form justification.  For the
+concurrency rules (L10–L14) the justification is *mandatory*: a line
+pragma without ``-- <reason>`` does not suppress them — the engine
+enforces "zero unjustified suppressions" rather than trusting review.
 
 Exit codes
 ----------
@@ -33,16 +36,20 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from .callgraph import Project, build_project
 from .dataflow import FileSummary, summarize_module
 from .effects import ProgramFacts, analyze
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .concurrency import ConcurrencyFacts
+
 __all__ = [
     "EXIT_CLEAN",
     "EXIT_VIOLATIONS",
     "EXIT_ERROR",
+    "CONCURRENCY_RULES",
     "Violation",
     "FileContext",
     "Rule",
@@ -68,10 +75,15 @@ EXIT_ERROR = 2
 
 #: Bump when the cached record layout or any analysis changes shape —
 #: stale cache entries are then simply misses.
-LINT_CACHE_VERSION = 1
+LINT_CACHE_VERSION = 2
 
 #: Fix tag understood by :func:`apply_return_none_fixes`.
 FIX_RETURN_NONE = "add-return-none"
+
+#: Rules whose line suppressions require a ``-- justification`` to
+#: take effect (the concurrency rules: a race hidden by a bare pragma
+#: is still a race).
+CONCURRENCY_RULES = frozenset({"L10", "L11", "L12", "L13", "L14"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,16 +120,22 @@ _SUPPRESS = re.compile(
 )
 
 
+_JUSTIFIED = re.compile(r"\s*--\s*\S")
+
+
 def _parse_suppressions(
     source: str,
-) -> tuple[dict[int, set[str]], set[str]]:
+) -> tuple[dict[int, set[str]], set[str], set[int]]:
     """Scan comments for suppression pragmas.
 
-    Returns ``(per_line, per_file)``; rule ids are upper-cased, the
-    wildcard ``all``/``*`` becomes ``"*"``.
+    Returns ``(per_line, per_file, justified_lines)``; rule ids are
+    upper-cased, the wildcard ``all``/``*`` becomes ``"*"``.  A line
+    lands in ``justified_lines`` when its pragma carries a ``--
+    <reason>`` tail — required for the concurrency rules.
     """
     per_line: dict[int, set[str]] = {}
     per_file: set[str] = set()
+    justified: set[int] = set()
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         comments = [
@@ -126,7 +144,7 @@ def _parse_suppressions(
             if token.type == tokenize.COMMENT
         ]
     except (tokenize.TokenError, IndentationError, SyntaxError):
-        return per_line, per_file
+        return per_line, per_file, justified
     for line, text in comments:
         match = _SUPPRESS.search(text)
         if match is None:
@@ -139,7 +157,9 @@ def _parse_suppressions(
             per_file.update(rules)
         else:
             per_line.setdefault(line, set()).update(rules)
-    return per_line, per_file
+            if _JUSTIFIED.match(text[match.end():]):
+                justified.add(line)
+    return per_line, per_file, justified
 
 
 @dataclass(slots=True)
@@ -152,6 +172,7 @@ class FileContext:
     tree: ast.Module
     line_suppressions: dict[int, set[str]] = field(default_factory=dict)
     file_suppressions: set[str] = field(default_factory=set)
+    justified_lines: set[int] = field(default_factory=set)
 
     @property
     def parts(self) -> tuple[str, ...]:
@@ -160,6 +181,8 @@ class FileContext:
     def suppressed(self, line: int, rule_id: str) -> bool:
         if "*" in self.file_suppressions or rule_id in self.file_suppressions:
             return True
+        if rule_id in CONCURRENCY_RULES and line not in self.justified_lines:
+            return False
         active = self.line_suppressions.get(line, ())
         return "*" in active or rule_id in active
 
@@ -177,7 +200,7 @@ class FileContext:
             relpath = str(path.relative_to(root)) if root else str(path)
         except ValueError:
             relpath = str(path)
-        per_line, per_file = _parse_suppressions(source)
+        per_line, per_file, justified = _parse_suppressions(source)
         return cls(
             path=path,
             relpath=Path(relpath).as_posix(),
@@ -185,6 +208,7 @@ class FileContext:
             tree=tree,
             line_suppressions=per_line,
             file_suppressions=per_file,
+            justified_lines=justified,
         )
 
 
@@ -193,6 +217,9 @@ class Rule:
 
     rule_id: str = ""
     summary: str = ""
+    #: Longer help text surfaced in SARIF output (``fullDescription`` /
+    #: ``help``); empty keeps the SARIF entry minimal.
+    description: str = ""
 
     def applies_to(self, context: FileContext) -> bool:
         return True
@@ -229,12 +256,23 @@ class ProjectContext:
     project: Project
     relpath_by_module: dict[str, str] = field(default_factory=dict)
     _facts: ProgramFacts | None = None
+    _concurrency: object | None = None
 
     @property
     def facts(self) -> ProgramFacts:
         if self._facts is None:
             self._facts = analyze(self.project)
         return self._facts
+
+    @property
+    def concurrency(self) -> "ConcurrencyFacts":
+        """Lock-set / acquisition-graph facts (rules L10-L14), computed
+        lazily and at most once per run."""
+        if self._concurrency is None:
+            from .concurrency import analyze_concurrency
+
+            self._concurrency = analyze_concurrency(self.project)
+        return self._concurrency  # type: ignore[return-value]
 
     def location_of(self, fqname: str) -> tuple[str, int]:
         """(relpath, lineno) of a function's definition."""
@@ -364,6 +402,7 @@ class _FileFacts:
     line_suppressions: dict[int, set[str]]
     file_suppressions: set[str]
     summary: FileSummary
+    justified_lines: set[int] = field(default_factory=set)
 
 
 def _cache_key(relpath: str, payload: bytes) -> str:
@@ -419,7 +458,10 @@ def _compute_file_facts(path: Path, root: Path) -> _FileFacts:
         violations=violations,
         line_suppressions=context.line_suppressions,
         file_suppressions=context.file_suppressions,
-        summary=summarize_module(context.tree, context.relpath),
+        summary=summarize_module(
+            context.tree, context.relpath, source=context.source
+        ),
+        justified_lines=context.justified_lines,
     )
 
 
@@ -454,6 +496,10 @@ def _file_facts(
 def _suppressed(facts: _FileFacts, line: int, rule_id: str) -> bool:
     if "*" in facts.file_suppressions or rule_id in facts.file_suppressions:
         return True
+    if rule_id in CONCURRENCY_RULES and line not in facts.justified_lines:
+        # Concurrency suppressions must carry a justification; a bare
+        # pragma leaves the violation standing.
+        return False
     active = facts.line_suppressions.get(line, ())
     return "*" in active or rule_id in active
 
@@ -605,13 +651,16 @@ def render_sarif(
     PR annotations."""
     if rules is None:
         rules = all_rules()
-    rule_objects = [
-        {
+    rule_objects: list[dict[str, object]] = []
+    for rule in sorted(rules, key=lambda rule: rule.rule_id):
+        entry: dict[str, object] = {
             "id": rule.rule_id,
             "shortDescription": {"text": rule.summary},
         }
-        for rule in sorted(rules, key=lambda rule: rule.rule_id)
-    ]
+        if rule.description:
+            entry["fullDescription"] = {"text": rule.description}
+            entry["help"] = {"text": rule.description}
+        rule_objects.append(entry)
     results = [
         {
             "ruleId": violation.rule,

@@ -191,7 +191,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="xmvrlint",
         description="Project-invariant static analysis for the XMVR "
-                    "reproduction (rules L1-L9; see DESIGN.md §10)",
+                    "reproduction (rules L1-L14; see DESIGN.md §10 "
+                    "and §13)",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

@@ -1,4 +1,4 @@
-"""The xmvrlint rule set (L1–L9).
+"""The xmvrlint rule set (L1–L14).
 
 Each rule encodes one repo-specific invariant that PR 1's caching layer
 turned load-bearing; DESIGN.md §10 ties every rule to the mechanism it
@@ -12,6 +12,16 @@ invalidation fixpoints (:mod:`repro.analysis.effects`): L6 generalizes
 L1 interprocedurally, L7 checks exception safety of mutation windows,
 L8 checks purity of everything feeding a cache key, and L9 enforces the
 package layering DAG.
+
+L10–L14 are the *concurrency* rules (DESIGN.md §13), built on the
+lock-set / acquisition-graph facts of
+:mod:`repro.analysis.concurrency`: L10 checks every access to a
+``#: guarded-by:`` field holds the lock, L11 fails lock-order cycles
+and non-reentrant re-acquisition, L12 enforces the pin-once epoch
+discipline, L13 the deep immutability of published snapshots, and L14
+forbids blocking calls under a core lock.  Line suppressions of these
+five require a ``--`` justification; an unjustified pragma does not
+suppress.
 """
 
 from __future__ import annotations
@@ -42,6 +52,11 @@ __all__ = [
     "ExceptionSafetyRule",
     "CacheKeyPurityRule",
     "ImportLayeringRule",
+    "LockSetRule",
+    "LockOrderRule",
+    "EpochPinningRule",
+    "SnapshotImmutabilityRule",
+    "BlockingUnderLockRule",
 ]
 
 
@@ -923,3 +938,153 @@ class ImportLayeringRule(ProjectRule):
                             f"the layer DAG is {_L9_DAG}"
                         ),
                     )
+
+
+# ======================================================================
+# L10–L14 — concurrency rules (lock discipline, DESIGN.md §13)
+# ======================================================================
+class _ConcurrencyRule(ProjectRule):
+    """Shared shape of the five concurrency rules: each wraps one
+    finding list of the :class:`ConcurrencyFacts` computed lazily on
+    the project context."""
+
+    def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
+        raise NotImplementedError
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[Violation]:
+        for relpath, lineno, message in self.findings(pctx):
+            yield Violation(
+                rule=self.rule_id,
+                path=relpath,
+                line=lineno,
+                column=0,
+                message=message,
+            )
+
+
+@register
+class LockSetRule(_ConcurrencyRule):
+    """L10: every access to a field annotated ``#: guarded-by: <lock>``
+    must happen with that lock held — statically, via the entry-lock
+    fixpoint (the intersection of locks held at every call site), so a
+    helper only ever called under the lock needs no annotation of its
+    own.  ``(writes)`` mode exempts reads (monotonic-publish fields)."""
+
+    rule_id = "L10"
+    summary = (
+        "reads/writes of `#: guarded-by:` fields must hold the named "
+        "lock (lock-set race detection over the call graph)"
+    )
+    description = (
+        "Eraser/RacerD-style lock-set checking: a field annotated "
+        "`#: guarded-by: <lock>` may only be accessed while its class's "
+        "<lock> is held, either by an enclosing `with`, or at every "
+        "call site of the enclosing function (greatest-fixpoint entry "
+        "locks). `__init__` is exempt (the object is unpublished)."
+    )
+
+    def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
+        return pctx.concurrency.lockset_violations()
+
+
+@register
+class LockOrderRule(_ConcurrencyRule):
+    """L11: the global acquires-while-holding graph must be acyclic,
+    and a held non-reentrant lock must never be re-acquired (that is
+    not deadlock *potential*, it is deadlock)."""
+
+    rule_id = "L11"
+    summary = (
+        "the lock acquisition-order graph must be acyclic and no held "
+        "non-reentrant lock may be re-acquired"
+    )
+    description = (
+        "Builds edges A -> B whenever some program point acquires lock "
+        "B while holding A, directly or through a resolved call that "
+        "transitively acquires B. A cycle means two threads can "
+        "acquire the locks in opposite orders and deadlock; "
+        "re-acquiring a held Lock/Condition self-deadlocks "
+        "immediately (RLocks are reentrant and exempt)."
+    )
+
+    def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
+        return pctx.concurrency.order_violations()
+
+
+@register
+class EpochPinningRule(_ConcurrencyRule):
+    """L12: a function serving a request must read a ``pin-once``
+    field (``self._epoch``) exactly once and thread the snapshot
+    through — a second unlocked read may observe a different epoch and
+    mix plans across registry generations."""
+
+    rule_id = "L12"
+    summary = (
+        "`pin-once` snapshot fields must be read at most once per "
+        "function (and never inside a loop) unless the writer lock is "
+        "held"
+    )
+    description = (
+        "Epoch-pinning discipline: fields annotated `#: guarded-by: "
+        "<lock> (writes, pin-once)` are published atomically by "
+        "mutators and read lock-free by request paths. Reading the "
+        "field twice in one function (or once inside a loop) can "
+        "observe two different epochs and produce answers mixing "
+        "generations; reads under the writer lock are exempt "
+        "(compare-and-publish)."
+    )
+
+    def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
+        return pctx.concurrency.pin_violations()
+
+
+@register
+class SnapshotImmutabilityRule(_ConcurrencyRule):
+    """L13: published snapshots are deeply immutable — the epoch class
+    stays a frozen dataclass, and nothing mutates state reachable from
+    a published epoch (its internally-synchronized plan cache is the
+    one deliberate exception)."""
+
+    rule_id = "L13"
+    summary = (
+        "published registry epochs must stay frozen and never be "
+        "mutated through (swap a fresh epoch instead)"
+    )
+    description = (
+        "Readers pin an epoch and use it without locks; that is only "
+        "sound if nothing mutates the snapshot after publication. The "
+        "rule checks RegistryEpoch remains a frozen dataclass, flags "
+        "writes and mutator calls through `self._epoch` / a pinned "
+        "`epoch` local (rebinding `self._epoch` itself is the publish "
+        "and is allowed), and flags VFILTER mutation on receivers "
+        "that are not freshly constructed."
+    )
+
+    def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
+        return pctx.concurrency.snapshot_violations()
+
+
+@register
+class BlockingUnderLockRule(_ConcurrencyRule):
+    """L14: no unbounded blocking — I/O, sleeps, queue waits, thread
+    joins, lock acquisition — while holding a core lock, unless the
+    lock is annotated ``#: lock: blocking-allowed``.  Uses the
+    ``blocks`` rung of the effect lattice for resolved callees."""
+
+    rule_id = "L14"
+    summary = (
+        "no blocking call (I/O, sleep, queue wait, join, acquire) "
+        "while holding a lock not annotated blocking-allowed"
+    )
+    description = (
+        "A blocking call under a contended lock stalls every thread "
+        "that needs it; under the stats or index locks that means the "
+        "whole answer path. Resolved callees use the interprocedural "
+        "`blocks` effect; unresolved calls use name heuristics. "
+        "`Condition.wait` on a held condition is the gate pattern "
+        "(the wait releases the lock) and is exempt, as are locks "
+        "annotated `#: lock: blocking-allowed`."
+    )
+
+    def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
+        return pctx.concurrency.blocking_violations(pctx.facts.effects)

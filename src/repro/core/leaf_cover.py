@@ -303,10 +303,14 @@ class CoverageMemo:
 
     def __init__(self, max_queries: int = 512) -> None:
         self.max_queries = max_queries
+        #: guarded-by: _lock
         self._queries: "OrderedDict[str, _QueryMemo]" = OrderedDict()
         self._lock = threading.RLock()
+        #: guarded-by: _lock (writes)
         self.computed = 0
+        #: guarded-by: _lock (writes)
         self.served = 0
+        #: guarded-by: _lock (writes)
         self.evicted_views = 0
 
     # ------------------------------------------------------------------

@@ -183,10 +183,13 @@ class DocumentEditor:
         document = self.system.document
         document.tree.invalidate_indexes()
         document.invalidate()
-        # Base-data indexes are stale too.
-        self.system._node_index = None
-        self.system._path_index = None
-        self.system._stream_index = None
+        # Base-data indexes are stale too.  Resetting them races with a
+        # concurrent lazy build in ``_ensure_node_index`` & co., so the
+        # writes must take the same lock the builders hold.
+        with self.system._index_lock:
+            self.system._node_index = None
+            self.system._path_index = None
+            self.system._stream_index = None
         # Cached plans embed rewrite results over the old document;
         # drop them here rather than relying on a later _refresh_views.
         self.system._invalidate_plans()

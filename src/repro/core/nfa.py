@@ -386,14 +386,21 @@ class CompiledNFA:
 
     def __init__(self, nfa_states: list[_State]) -> None:
         self._nfa_states = nfa_states
+        #: guarded-by: _lock (writes)
         self._sets: list[frozenset[int]] = []
         #: per-DFA-state label row; ``None`` until the row is built.
+        #: guarded-by: _lock (writes)
         self._labels: list[dict[str, int] | None] = []
+        #: guarded-by: _lock (writes)
         self._other: list[int] = []
+        #: guarded-by: _lock (writes)
         self._hash: list[int] = []
+        #: guarded-by: _lock (writes)
         self._accepts: list[tuple[AcceptEntry, ...]] = []
+        #: guarded-by: _lock (writes)
         self._intern: dict[frozenset[int], int] = {}
         self._lock = threading.Lock()
+        #: guarded-by: _lock (writes)
         self._rows_built = 0
         dead = self._intern_set(frozenset())
         assert dead == self.DEAD

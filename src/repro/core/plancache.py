@@ -118,8 +118,10 @@ class PlanCache:
 
     def __init__(self, maxsize: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
         self.maxsize = maxsize
+        #: guarded-by: _lock
         self._entries: OrderedDict[tuple[str, str], PlanEntry] = OrderedDict()
         self._lock = threading.Lock()
+        #: guarded-by: _lock (writes)
         self.stats = PlanCacheStats()
 
     def __len__(self) -> int:

@@ -169,18 +169,26 @@ class MaterializedViewSystem:
         self._plan_cache_size = plan_cache_size
         self._cache_results = cache_results
         self._memo = CoverageMemo()
+        #: guarded-by: _index_lock (writes)
         self._node_index: NodeIndex | None = None
+        #: guarded-by: _index_lock (writes)
         self._path_index: FullPathIndex | None = None
+        #: guarded-by: _index_lock (writes)
         self._stream_index: DeweyStreamIndex | None = None
         #: Serialises every registry mutation (registration, eviction,
         #: maintenance).  Readers never take it: they pin ``_epoch``.
+        #: Materialisation does store I/O under it by design — the
+        #: mutation path is the slow path.
+        #: lock: blocking-allowed
         self._mutate_lock = threading.RLock()
         #: Guards the scalar counters and the epoch/stats-base pairing.
         self._stats_lock = threading.Lock()
         #: Guards lazy construction of the BN/BF baseline indexes.
         self._index_lock = threading.Lock()
         #: Cumulative plan-cache counters of every retired epoch.
+        #: guarded-by: _stats_lock
         self._plan_stats_base = PlanCacheStats()
+        #: guarded-by: _mutate_lock (writes, pin-once)
         self._epoch = RegistryEpoch(
             seq=0,
             views={},
@@ -188,15 +196,20 @@ class MaterializedViewSystem:
             vfilter=LayeredVFilter.build([]),
             plan_cache=PlanCache(plan_cache_size),
         )
+        #: guarded-by: _stats_lock
         self._stage_totals: dict[str, float] = {
             "parse": 0.0, "lookup": 0.0, "rewrite": 0.0,
             # fine-grained cold-path stages (answer --profile)
             "vfilter": 0.0, "cover": 0.0, "selection": 0.0,
             "refine": 0.0, "join": 0.0, "extract": 0.0,
         }
+        #: guarded-by: _stats_lock
         self._answer_calls = 0
+        #: guarded-by: _stats_lock
         self._warm_hits = 0
+        #: guarded-by: _stats_lock
         self._parallel_registered = 0
+        #: guarded-by: _stats_lock
         self._serial_registered = 0
 
     # ------------------------------------------------------------------

@@ -36,8 +36,11 @@ class SnapshotEngine:
     def __init__(self, system: MaterializedViewSystem) -> None:
         self._system = system
         self._gate = threading.Condition(threading.Lock())
+        #: guarded-by: _gate
         self._active = 0
+        #: guarded-by: _gate
         self._maintenance_waiting = 0
+        #: guarded-by: _gate
         self._maintaining = False
 
     # ------------------------------------------------------------------

@@ -135,9 +135,13 @@ class QueryScheduler:
             maxsize=max(1, queue_limit)
         )
         self._lock = threading.Lock()
+        #: guarded-by: _lock
         self._flights: dict[tuple[str, str], _Flight] = {}
+        #: guarded-by: _lock
         self._ewma = _EWMA_PRIOR
+        #: guarded-by: _lock
         self._closed = False
+        #: guarded-by: _lock
         self._counters = {
             "submitted": 0,
             "coalesced": 0,

@@ -55,10 +55,17 @@ class KVStore:
 
     def __init__(self, path: str | None = None):
         self.path = path
+        #: Serialises every store operation; the log I/O happens under
+        #: it by design (see the class docstring).
+        #: lock: blocking-allowed
         self._lock = threading.RLock()
+        #: guarded-by: _lock
         self._index: dict[bytes, tuple[int, int]] = {}  # key -> (offset, vlen)
+        #: guarded-by: _lock
         self._live_bytes = 0
+        #: guarded-by: _lock
         self._handle = None
+        #: guarded-by: _lock
         self._length = 0
         if path is not None:
             exists = os.path.exists(path)
@@ -67,6 +74,7 @@ class KVStore:
                 self._recover()
             self._length = self._handle.seek(0, os.SEEK_END)
         else:
+            #: guarded-by: _lock
             self._memory: dict[bytes, bytes] = {}
 
     # ------------------------------------------------------------------
@@ -253,14 +261,16 @@ class KVStore:
     @property
     def stored_bytes(self) -> int:
         """Live payload bytes (keys + values), the Figure 11 metric."""
-        return self._live_bytes
+        with self._lock:
+            return self._live_bytes
 
     @property
     def file_bytes(self) -> int:
         """On-disk log length, including garbage awaiting compaction."""
-        if self.in_memory:
-            return self._live_bytes
-        return self._length
+        with self._lock:
+            if self.in_memory:
+                return self._live_bytes
+            return self._length
 
     def compact(self) -> None:
         """Rewrite the log keeping only live records."""

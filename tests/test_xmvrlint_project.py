@@ -691,6 +691,11 @@ def test_explain_returns_design_entries():
         ("L7", "exception"),
         ("L8", "purity"),
         ("L9", "layering"),
+        ("L10", "lock-set"),
+        ("L11", "acquisition"),
+        ("L12", "pinning"),
+        ("L13", "immutability"),
+        ("L14", "blocking"),
     ]:
         text = explain_rule(rule_id)
         assert text.startswith(f"**{rule_id} ")
@@ -780,8 +785,10 @@ def test_fix_on_clean_file_changes_nothing(tmp_path, capsys):
 # the repo itself is clean under the full rule set
 # ----------------------------------------------------------------------
 def test_repo_is_clean_under_whole_program_rules():
+    # L6-L9 dataflow plus the L10-L14 concurrency rules: the real tree
+    # must stay clean with zero unjustified suppressions.
     src = Path(__file__).resolve().parent.parent / "src"
     violations = lint_paths(
-        [src], all_rules(["L6", "L7", "L8", "L9"]), root=src.parent
+        [src], all_rules(["L6-L14"]), root=src.parent
     )
     assert violations == [], engine.render_human(violations)
