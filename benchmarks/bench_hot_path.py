@@ -39,6 +39,7 @@ import sys
 import time
 
 from repro.bench import build_environment
+from repro.bench.report import run_metadata
 from repro.core.selection import select_heuristic
 from repro.core.rewrite import rewrite
 from repro.xpath.parser import parse_xpath
@@ -189,6 +190,7 @@ def main() -> int:
     report = run_hot_path(
         scale=scale, view_count=view_count, distinct=40, samples=samples
     )
+    report["run"] = run_metadata()
     with open(RESULT_PATH, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")

@@ -61,6 +61,7 @@ import sys
 import time
 
 from repro.bench import build_environment
+from repro.bench.report import run_metadata
 from repro.core.system import MaterializedViewSystem
 from repro.service import (
     InProcessClient,
@@ -260,6 +261,7 @@ def main() -> int:
                   f"p99 {data['before']['p99_ms']:.2f} → "
                   f"{data['after']['p99_ms']:.2f} ms "
                   f"({data['p99_speedup']}×)")
+    report["run"] = run_metadata()
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

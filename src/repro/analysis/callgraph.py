@@ -23,9 +23,10 @@ as effect-free.  The resolution ladder, in order:
    the whole project resolves to it.
 
 Layer ranks for rule L9 live here too (:func:`layer_of`): the package
-DAG ``xmltree → xpath → matching → storage → core → {analysis,
-workload} → bench``, with ``errors`` importable from everywhere and the
-top-level application shell (``cli``, ``__main__``) exempt.
+DAG ``obs → xmltree → xpath → matching → storage → core → {analysis,
+workload} → {bench, service}``, with ``errors`` importable from
+everywhere and the top-level application shell (``cli``,
+``__main__``) exempt.
 """
 
 from __future__ import annotations
@@ -64,15 +65,18 @@ ATTR_CLASSES: dict[str, tuple[str, ...]] = {
 #: layer at the same rank — breaks the DAG.
 LAYER_RANKS: dict[str, int] = {
     "errors": 0,
-    "xmltree": 1,
-    "xpath": 2,
-    "matching": 3,
-    "storage": 4,
-    "core": 5,
-    "analysis": 6,
-    "workload": 6,
-    "bench": 7,
-    "service": 7,
+    # Telemetry primitives (clock, registry, tracer, slow log) sit just
+    # above errors: every layer may record into them, they import none.
+    "obs": 1,
+    "xmltree": 2,
+    "xpath": 3,
+    "matching": 4,
+    "storage": 5,
+    "core": 6,
+    "analysis": 7,
+    "workload": 7,
+    "bench": 8,
+    "service": 8,
 }
 
 #: Top-level application-shell modules exempt from L9: they wire every

@@ -556,7 +556,15 @@ class IdKeyEscapeRule(Rule):
 # ======================================================================
 # L4 — no wall clock / randomness in core/
 # ======================================================================
-_L4_BANNED_CALLS = {("time", "time"), ("time", "clock")}
+_L4_BANNED_CALLS = {
+    ("time", "time"),
+    ("time", "clock"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+}
+_L4_BANNED_FROM_TIME = frozenset(name for _, name in _L4_BANNED_CALLS)
 _L4_NOW_NAMES = {"now", "utcnow", "today"}
 
 
@@ -564,11 +572,18 @@ _L4_NOW_NAMES = {"now", "utcnow", "today"}
 class WallClockRule(Rule):
     """L4: ``core/`` stays deterministic and benchmark-honest — no
     ``time.time()``, no ``random``, no ``datetime.now()`` outside
-    ``bench/`` (``time.perf_counter`` is fine: it measures, it does
-    not decide)."""
+    ``bench/``.  Since the telemetry subsystem landed, the monotonic
+    timers (``time.perf_counter``, ``time.monotonic`` and their ``_ns``
+    variants) are banned too: core code measures time only through the
+    injected :class:`repro.obs.Clock` (``self._clock.monotonic()``),
+    so tests can substitute a manual clock and every reading lands in
+    the shared metrics registry."""
 
     rule_id = "L4"
-    summary = "no time.time()/random/datetime.now() in core/ outside bench/"
+    summary = (
+        "no time.*/random/datetime.now() in core/ outside bench/; "
+        "the injected obs.Clock is the only sanctioned time source"
+    )
 
     def applies_to(self, context: FileContext) -> bool:
         parts = context.parts
@@ -590,12 +605,14 @@ class WallClockRule(Rule):
                         context, node, "import from random in core/"
                     )
                 elif node.module == "time" and any(
-                    alias.name in ("time", "clock") for alias in node.names
+                    alias.name in _L4_BANNED_FROM_TIME
+                    for alias in node.names
                 ):
                     yield self.violation(
                         context,
                         node,
-                        "import of wall-clock time.time/time.clock in core/",
+                        "import of a time.* clock in core/ (use the "
+                        "injected obs.Clock)",
                     )
             elif isinstance(node, ast.Call):
                 chain = (
@@ -888,8 +905,8 @@ class CacheKeyPurityRule(ProjectRule):
 # L9 — import layering DAG
 # ======================================================================
 _L9_DAG = (
-    "xmltree -> xpath -> matching -> storage -> core -> "
-    "{analysis, workload} -> {bench, service}"
+    "errors -> obs -> xmltree -> xpath -> matching -> storage -> "
+    "core -> {analysis, workload} -> {bench, service}"
 )
 
 

@@ -13,14 +13,20 @@ system without writing code:
 * ``lint``      — run the project's static-analysis pass (xmvrlint).
 * ``serve``     — run the concurrent HTTP/JSON query service
   (``--smoke N`` starts it on an ephemeral port, drives N requests
-  through the HTTP load client and exits nonzero on any 5xx).
+  through the HTTP load client, validates the ``/metrics`` exposition
+  against the engine's own ``stats()``, and exits nonzero on any 5xx).
+* ``slowlog``   — fetch and pretty-print a running server's slow-query
+  log (``GET /debug/slow``), span trees included.
 """
 
 from __future__ import annotations
 
 import argparse
+import http.client
+import json
 import sys
 import time
+from typing import Any
 
 from . import __version__
 from .core.leaf_cover import leaf_cover_labels, obligations_of
@@ -137,6 +143,12 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
                 weights=zipf_weights(len(queries)),
                 seed=arguments.seed,
             )
+            # Scrape while the server is still up: the exposition must
+            # parse, count the traffic we just drove, and agree with
+            # the engine's own stats() — same cells, two readouts.
+            telemetry_error = _check_telemetry_endpoints(
+                host, bound_port, system
+            )
         finally:
             server.shutdown()
         print(f"smoke: {report.requests} requests, "
@@ -146,6 +158,12 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
               f"p99 {report.percentile(0.99):.2f} ms")
         if arguments.profile:
             _print_profile(system)
+        if telemetry_error is not None:
+            print(f"smoke: telemetry FAILED: {telemetry_error}",
+                  file=sys.stderr)
+            return 2
+        print("smoke: telemetry OK (/metrics parses, counters agree "
+              "with stats, /debug/slow populated)")
         if report.server_errors or report.ok != report.requests:
             print("smoke: FAILED", file=sys.stderr)
             return 2
@@ -161,6 +179,125 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         pass
     finally:
         server.shutdown()
+    return 0
+
+
+def _http_get(
+    host: str, port: int, path: str, timeout: float = 10.0
+) -> tuple[int, bytes]:
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def _check_telemetry_endpoints(
+    host: str, port: int, system: MaterializedViewSystem
+) -> str | None:
+    """Validate ``/metrics`` and ``/debug/slow`` against a live system;
+    returns an error description, or None when everything checks out."""
+    from .obs import parse_exposition
+
+    status, payload = _http_get(host, port, "/metrics")
+    if status != 200:
+        return f"GET /metrics returned {status}"
+    try:
+        families = parse_exposition(payload.decode("utf-8"))
+    except ValueError as error:
+        return f"/metrics exposition is malformed: {error}"
+    answers = families.get("repro_answers_total")
+    if answers is None:
+        return "/metrics lacks repro_answers_total"
+    served = sum(answers.samples.values())
+    if served <= 0:
+        return "repro_answers_total is zero after the smoke run"
+    stage_family = families.get("repro_stage_seconds")
+    if stage_family is None:
+        return "/metrics lacks repro_stage_seconds"
+    stage_seconds = system.stats()["stage_seconds"]
+    assert isinstance(stage_seconds, dict)
+    for stage, expected in stage_seconds.items():
+        exposed = stage_family.value(
+            name="repro_stage_seconds_sum", stage=stage
+        )
+        if exposed is None:
+            exposed = 0.0
+        # Same histogram cells read twice; only traffic between the
+        # scrape and the stats() call can make them differ, and the
+        # closed loop has drained by now.
+        if abs(exposed - expected) > max(1e-6, 0.05 * expected):
+            return (
+                f"stage {stage!r}: /metrics sum {exposed:.6f}s "
+                f"disagrees with stats() {expected:.6f}s"
+            )
+    status, payload = _http_get(host, port, "/debug/slow")
+    if status != 200:
+        return f"GET /debug/slow returned {status}"
+    body = json.loads(payload)
+    records = body.get("slow_queries")
+    if not isinstance(records, list) or not records:
+        return "/debug/slow recorded no queries during the smoke run"
+    first = records[0]
+    for key in ("trace_id", "query", "total_seconds", "stage_seconds"):
+        if key not in first:
+            return f"/debug/slow records lack {key!r}"
+    return None
+
+
+def _print_span(span: dict[str, Any], indent: int) -> None:
+    duration_ms = span.get("duration_seconds", 0.0) * 1e3
+    attributes = span.get("attributes", {})
+    rendered = ", ".join(
+        f"{key}={value}" for key, value in sorted(attributes.items())
+    )
+    suffix = f"  [{rendered}]" if rendered else ""
+    print(f"{'  ' * indent}- {span.get('name')} "
+          f"{duration_ms:.3f} ms{suffix}")
+    for child in span.get("children", []):
+        _print_span(child, indent + 1)
+
+
+def _cmd_slowlog(arguments: argparse.Namespace) -> int:
+    path = "/debug/slow"
+    if arguments.limit:
+        path += f"?limit={arguments.limit}"
+    try:
+        status, payload = _http_get(arguments.host, arguments.port, path)
+    except OSError as error:
+        print(f"error: cannot reach {arguments.host}:{arguments.port}: "
+              f"{error}", file=sys.stderr)
+        return 1
+    if status != 200:
+        print(f"error: GET {path} returned {status}", file=sys.stderr)
+        return 1
+    body = json.loads(payload)
+    if arguments.json:
+        print(json.dumps(body, indent=2, sort_keys=True))
+        return 0
+    records = body.get("slow_queries", [])
+    print(f"slow-query log: {len(records)} resident "
+          f"(capacity {body.get('capacity')}, "
+          f"{body.get('recorded')} recorded)")
+    for record in records:
+        stages = ", ".join(
+            f"{stage}={seconds * 1e3:.2f}ms"
+            for stage, seconds in sorted(
+                record.get("stage_seconds", {}).items()
+            )
+            if seconds > 0.0
+        )
+        print(f"\n{record['trace_id']}  {record['query']}  "
+              f"[{record['strategy']}]  {record['status']}  "
+              f"{record['total_seconds'] * 1e3:.2f} ms  "
+              f"epoch {record['epoch']}  "
+              f"{'plan-cache hit' if record['plan_cache_hit'] else 'cold'}")
+        if stages:
+            print(f"  stages: {stages}")
+        for span in record.get("spans", []):
+            _print_span(span, 1)
     return 0
 
 
@@ -368,6 +505,18 @@ def main(argv: list[str] | None = None) -> int:
                        help="with --smoke: print cumulative per-stage "
                             "times after the run")
     serve.set_defaults(handler=_cmd_serve)
+
+    slowlog = commands.add_parser(
+        "slowlog",
+        help="fetch a running server's slow-query log (/debug/slow)",
+    )
+    slowlog.add_argument("--host", default="127.0.0.1")
+    slowlog.add_argument("--port", type=int, default=8080)
+    slowlog.add_argument("--limit", type=int, default=0,
+                         help="show only the N slowest (default: all)")
+    slowlog.add_argument("--json", action="store_true",
+                         help="raw JSON instead of the rendered tree")
+    slowlog.set_defaults(handler=_cmd_slowlog)
 
     lint = commands.add_parser(
         "lint", help="run xmvrlint over the source tree"

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from ..errors import EncodingError, SchemaError
 from ..matching.evaluate import evaluate
 from ..matching.homomorphism import label_subsumes
+from ..obs import current_trace
 from ..xmltree.builder import encode_tree
 from ..xmltree.dewey import (
     DeweyCode,
@@ -64,6 +65,19 @@ class DocumentEditor:
 
     def __init__(self, system: MaterializedViewSystem) -> None:
         self.system = system
+        registry = system.telemetry.registry
+        self._clock = system.telemetry.clock
+        self._ops_total = registry.counter(
+            "repro_maintenance_total",
+            "Document maintenance operations applied.",
+            ("op",),
+        )
+        self._ops_hist = registry.histogram(
+            "repro_maintenance_seconds",
+            "End-to-end maintenance operation latency (edit + selective "
+            "view refresh).",
+            ("op",),
+        )
 
     # ------------------------------------------------------------------
     # public operations
@@ -73,6 +87,18 @@ class DocumentEditor:
     ) -> MaintenanceReport:
         """Attach ``subtree`` as the last child of the node at
         ``parent_code`` and refresh affected views."""
+        started = self._clock.monotonic()
+        with current_trace().span("maintain", op="insert") as span:
+            report = self._insert_subtree(parent_code, subtree)
+            span.attributes["affected_views"] = len(report.affected_views)
+            span.attributes["full_reencode"] = report.full_reencode
+        self._ops_total.inc(1.0, "insert")
+        self._ops_hist.observe(self._clock.monotonic() - started, "insert")
+        return report
+
+    def _insert_subtree(
+        self, parent_code: DeweyCode, subtree: XMLNode
+    ) -> MaintenanceReport:
         document = self.system.document
         parent = document.node_by_code(parent_code)
         if parent is None:
@@ -109,6 +135,15 @@ class DocumentEditor:
     def delete_subtree(self, code: DeweyCode) -> MaintenanceReport:
         """Remove the subtree rooted at ``code`` and refresh affected
         views.  The document root cannot be deleted."""
+        started = self._clock.monotonic()
+        with current_trace().span("maintain", op="delete") as span:
+            report = self._delete_subtree(code)
+            span.attributes["affected_views"] = len(report.affected_views)
+        self._ops_total.inc(1.0, "delete")
+        self._ops_hist.observe(self._clock.monotonic() - started, "delete")
+        return report
+
+    def _delete_subtree(self, code: DeweyCode) -> MaintenanceReport:
         document = self.system.document
         node = document.node_by_code(code)
         if node is None:

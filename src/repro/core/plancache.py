@@ -164,3 +164,10 @@ class PlanCache:
         """A consistent snapshot of the counters."""
         with self._lock:
             return self.stats.as_dict()
+
+    def snapshot(self) -> tuple[dict[str, int], int]:
+        """Counters *and* entry count captured under one lock hold, so
+        a caller assembling a stats payload cannot observe a hit total
+        from one instant and a size from another."""
+        with self._lock:
+            return self.stats.as_dict(), len(self._entries)

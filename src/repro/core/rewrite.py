@@ -21,10 +21,10 @@ base document, and the test suite checks exactly that equality.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..errors import RewritingError
+from ..obs import SYSTEM_CLOCK, Clock, current_trace
 from ..matching.evaluate import evaluate_relative
 from ..storage.fragments import Fragment, FragmentStore
 from ..xmltree.dewey import (
@@ -99,6 +99,7 @@ def rewrite(
     memo: CoverageMemo | None = None,
     query_key: str | None = None,
     stage_acc: dict[str, float] | None = None,
+    clock: Clock | None = None,
 ) -> RewriteResult:
     """Run the full refine → join → extract pipeline.
 
@@ -110,9 +111,12 @@ def rewrite(
 
     ``stage_acc``, when given, receives cumulative wall-clock seconds
     under the keys ``refine`` / ``join`` / ``extract`` (the ``answer
-    --profile`` plumbing); the empty-answer short-circuit skips the
-    bookkeeping.
+    --profile`` plumbing), measured on ``clock`` (the system's
+    injected time source; defaults to the real clock for direct
+    library use); the empty-answer short-circuit skips the bookkeeping.
     """
+    monotonic = (clock if clock is not None else SYSTEM_CLOCK).monotonic
+    trace = current_trace()
     fragments_cache: dict[str, list[Fragment]] = {}
 
     def fragments_of(view_id: str) -> list[Fragment]:
@@ -131,18 +135,21 @@ def rewrite(
             memo.record_compensation(query_key, unit, *plan)
         return plan
 
-    refine_started = time.perf_counter() if stage_acc is not None else 0.0
-    refined_units: list[RefinedUnit] = []
-    for unit in selection.units:
-        refined = refine_unit(
-            unit, query, fragments_of(unit.view.view_id), plan=plan_for(unit)
-        )
-        if not refined.fragments:
-            # Some required piece has no instances: the answer is empty.
-            return RewriteResult([], refined=refined_units + [refined])
-        refined_units.append(refined)
+    refine_started = monotonic() if stage_acc is not None else 0.0
+    with trace.span("refine", units=len(selection.units)):
+        refined_units: list[RefinedUnit] = []
+        for unit in selection.units:
+            refined = refine_unit(
+                unit, query, fragments_of(unit.view.view_id),
+                plan=plan_for(unit),
+            )
+            if not refined.fragments:
+                # Some required piece has no instances: the answer is
+                # empty.
+                return RewriteResult([], refined=refined_units + [refined])
+            refined_units.append(refined)
     if stage_acc is not None:
-        stage_acc["refine"] += time.perf_counter() - refine_started
+        stage_acc["refine"] += monotonic() - refine_started
 
     delta_candidates = [
         refined for refined in refined_units if refined.unit.provides_delta
@@ -160,11 +167,16 @@ def rewrite(
         ),
     )
 
-    join_started = time.perf_counter() if stage_acc is not None else 0.0
-    surviving = join_units(refined_units, query, fst, extraction)
+    join_started = monotonic() if stage_acc is not None else 0.0
+    with trace.span("twig_join") as join_span:
+        surviving = join_units(refined_units, query, fst, extraction)
+        join_span.attributes["surviving_roots"] = len(surviving)
+        join_span.attributes["extraction_view"] = (
+            extraction.unit.view.view_id
+        )
     if stage_acc is not None:
-        stage_acc["join"] += time.perf_counter() - join_started
-        extract_started = time.perf_counter()
+        stage_acc["join"] += monotonic() - join_started
+        extract_started = monotonic()
 
     by_packed = {
         fragment.packed: fragment for fragment in extraction.fragments
@@ -173,20 +185,22 @@ def rewrite(
     # packed form is unique per code, so the tuple is never compared.
     ordered: set[tuple[bytes, DeweyCode]] = set()
     answers: dict[DeweyCode, XMLNode] = {}
-    for packed_root in surviving:
-        fragment = by_packed[packed_root]
-        root = fragment.root
-        if root.dewey != fragment.code:
-            reencode_fragment(root, fragment.code, schema)
-        for answer in evaluate_relative(
-            extraction.pattern, root, fragment.subtree_index()
-        ):
-            assert answer.dewey is not None
-            assert answer.dewey_packed is not None
-            ordered.add((answer.dewey_packed, answer.dewey))
-            answers[answer.dewey] = answer
+    with trace.span("extract") as extract_span:
+        for packed_root in surviving:
+            fragment = by_packed[packed_root]
+            root = fragment.root
+            if root.dewey != fragment.code:
+                reencode_fragment(root, fragment.code, schema)
+            for answer in evaluate_relative(
+                extraction.pattern, root, fragment.subtree_index()
+            ):
+                assert answer.dewey is not None
+                assert answer.dewey_packed is not None
+                ordered.add((answer.dewey_packed, answer.dewey))
+                answers[answer.dewey] = answer
+        extract_span.attributes["answers"] = len(answers)
     if stage_acc is not None:
-        stage_acc["extract"] += time.perf_counter() - extract_started
+        stage_acc["extract"] += monotonic() - extract_started
     return RewriteResult(
         [code for _packed, code in sorted(ordered)],
         answers=answers,

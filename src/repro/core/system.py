@@ -42,12 +42,12 @@ This is the object the examples and benchmarks drive.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from . import contracts
 from ..errors import ViewNotAnswerableError
+from ..obs import Telemetry, current_trace
 from ..matching.evaluate import evaluate
 from ..storage.fragments import DEFAULT_FRAGMENT_CAP, FragmentStore
 from ..storage.index import DeweyStreamIndex, FullPathIndex, NodeIndex
@@ -81,6 +81,13 @@ __all__ = ["AnswerOutcome", "MaterializedViewSystem", "RegistryEpoch"]
 
 #: Selection strategies accepted by :meth:`MaterializedViewSystem.answer`.
 _STRATEGIES = ("HV", "MV", "MN", "CB")
+
+#: Every stage key ``stats()["stage_seconds"]`` reports (coarse answer
+#: phases first, then the fine-grained cold-path breakdown).
+_STAGE_NAMES = (
+    "parse", "lookup", "rewrite",
+    "vfilter", "cover", "selection", "refine", "join", "extract",
+)
 
 #: Collapse the layered VFILTER back into one monolithic automaton once
 #: this many single-view delta layers have accumulated (bounds per-query
@@ -163,12 +170,20 @@ class MaterializedViewSystem:
         store: KVStore | None = None,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         cache_results: bool = True,
+        telemetry: Telemetry | None = None,
     ):
         self.document = document
         self.fragments = FragmentStore(store, cap_bytes=fragment_cap)
         self._plan_cache_size = plan_cache_size
         self._cache_results = cache_results
         self._memo = CoverageMemo()
+        #: The telemetry bundle every component of this system reports
+        #: into; the service layer reuses it so scheduler counters and
+        #: derivation histograms share one registry (and one clock).
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry.create()
+        )
+        self._clock = self.telemetry.clock
         #: guarded-by: _index_lock (writes)
         self._node_index: NodeIndex | None = None
         #: guarded-by: _index_lock (writes)
@@ -196,21 +211,77 @@ class MaterializedViewSystem:
             vfilter=LayeredVFilter.build([]),
             plan_cache=PlanCache(plan_cache_size),
         )
-        #: guarded-by: _stats_lock
-        self._stage_totals: dict[str, float] = {
-            "parse": 0.0, "lookup": 0.0, "rewrite": 0.0,
-            # fine-grained cold-path stages (answer --profile)
-            "vfilter": 0.0, "cover": 0.0, "selection": 0.0,
-            "refine": 0.0, "join": 0.0, "extract": 0.0,
-        }
-        #: guarded-by: _stats_lock
-        self._answer_calls = 0
-        #: guarded-by: _stats_lock
-        self._warm_hits = 0
-        #: guarded-by: _stats_lock
-        self._parallel_registered = 0
-        #: guarded-by: _stats_lock
-        self._serial_registered = 0
+        # Operational counters live in the telemetry registry — the
+        # `/metrics` endpoint and stats() read the same cells, so the
+        # two can never disagree.  Each metric carries its own leaf
+        # lock; none is ever taken while holding another metric's.
+        registry = self.telemetry.registry
+        self._stage_hist = registry.histogram(
+            "repro_stage_seconds",
+            "Seconds spent in each answering pipeline stage.",
+            ("stage",),
+        )
+        self._answer_hist = registry.histogram(
+            "repro_answer_seconds",
+            "End-to-end answer() latency (post-parse), by cache outcome.",
+            ("cache",),
+        )
+        self._answers_total = registry.counter(
+            "repro_answers_total",
+            "answer() calls, by strategy and plan-cache outcome "
+            "(unanswerable queries are counted too).",
+            ("strategy", "cache"),
+        )
+        self._registrations_total = registry.counter(
+            "repro_views_registered_total",
+            "View registrations, by evaluation mode.",
+            ("mode",),
+        )
+        self._epoch_swaps_total = registry.counter(
+            "repro_epoch_swaps_total",
+            "Registry epoch publications (registration, eviction, reopen).",
+        )
+        registry.gauge(
+            "repro_epoch_seq",
+            "Sequence number of the published registry epoch.",
+            fn=lambda: float(self._epoch.seq),
+        )
+        registry.gauge(
+            "repro_views_materialized",
+            "Views currently in the answerable pool.",
+            fn=lambda: float(len(self._epoch.materialized)),
+        )
+        registry.gauge(
+            "repro_plan_cache_hits",
+            "Cumulative plan-cache hits across epochs.",
+            fn=lambda: float(self._plan_counters()[1]["hits"]),
+        )
+        registry.gauge(
+            "repro_plan_cache_misses",
+            "Cumulative plan-cache misses across epochs.",
+            fn=lambda: float(self._plan_counters()[1]["misses"]),
+        )
+        registry.gauge(
+            "repro_plan_cache_entries",
+            "Cached plans in the live epoch.",
+            fn=lambda: float(self._plan_counters()[1]["entries"]),
+        )
+        registry.gauge(
+            "repro_nfa_reads_compiled",
+            "VFILTER token-stream reads served by compiled DFA tables "
+            "(live epoch's layers).",
+            fn=lambda: float(
+                self._epoch.vfilter.compiled_stats()["reads_compiled"]
+            ),
+        )
+        registry.gauge(
+            "repro_nfa_reads_simulated",
+            "VFILTER token-stream reads that fell back to NFA set "
+            "simulation (live epoch's layers).",
+            fn=lambda: float(
+                self._epoch.vfilter.compiled_stats()["reads_simulated"]
+            ),
+        )
 
     # ------------------------------------------------------------------
     # epoch plumbing
@@ -260,19 +331,22 @@ class MaterializedViewSystem:
         shared with the retiring epoch keep their existing tables
         (compilation is an idempotent per-layer cache).
         """
-        vfilter.precompile()
-        retiring = self._epoch
-        with self._stats_lock:
-            self._plan_stats_base.absorb(
-                PlanCacheStats(**retiring.plan_cache.stats_dict())
-            )
-            self._epoch = RegistryEpoch(
-                seq=retiring.seq + 1,
-                views=views,
-                materialized=materialized,
-                vfilter=vfilter,
-                plan_cache=PlanCache(self._plan_cache_size),
-            )
+        with current_trace().span("epoch_publish") as span:
+            vfilter.precompile()
+            retiring = self._epoch
+            with self._stats_lock:
+                self._plan_stats_base.absorb(
+                    PlanCacheStats(**retiring.plan_cache.stats_dict())
+                )
+                self._epoch = RegistryEpoch(
+                    seq=retiring.seq + 1,
+                    views=views,
+                    materialized=materialized,
+                    vfilter=vfilter,
+                    plan_cache=PlanCache(self._plan_cache_size),
+                )
+            span.attributes["seq"] = retiring.seq + 1
+        self._epoch_swaps_total.inc()
 
     # ------------------------------------------------------------------
     # registration
@@ -294,9 +368,11 @@ class MaterializedViewSystem:
                 if node.dewey is not None
             ]
             fits = self.fragments.materialize(view_id, entries)
-            with self._stats_lock:
-                self._serial_registered += 1
-            return self._admit_view(view, fits)
+            # Counted only after _admit_view has invalidated + published
+            # (its raise paths must not sit inside the mutation window).
+            admitted = self._admit_view(view, fits)
+            self._registrations_total.inc(1.0, "serial")
+            return admitted
 
     def _admit_view(self, view: View, fits: bool) -> bool:
         """Shared tail of serial and parallel registration: drop stale
@@ -405,8 +481,7 @@ class MaterializedViewSystem:
                 )
                 if self._admit_view(view, fits):
                     registered.append(view.view_id)
-            with self._stats_lock:
-                self._parallel_registered += len(prepared)
+            self._registrations_total.inc(float(len(prepared)), "parallel")
             return registered
 
     # ------------------------------------------------------------------
@@ -521,34 +596,57 @@ class MaterializedViewSystem:
         """
         self._epoch.plan_cache.clear()
 
-    def stats(self) -> dict[str, object]:
-        """Operational counters for the answering hot path.
-
-        Returns a *deep snapshot*: every nested dict is freshly built
-        under the stats lock, so a caller (the service ``/stats``
-        endpoint, a test) can hold or mutate the result while serving
-        continues without seeing live counters shift or corrupting
-        system state.  Plan-cache counters are cumulative across
-        epochs: the retired epochs' folded base plus the live cache.
-        """
+    def _plan_counters(self) -> tuple[RegistryEpoch, dict[str, int]]:
+        """Pin one epoch and assemble its cumulative plan-cache
+        counters *atomically*: the epoch reference, the retired-epoch
+        base and the live cache's counters + entry count are all
+        captured inside one ``_stats_lock`` hold (the live cache is
+        read via :meth:`PlanCache.snapshot`, one lock hold on its
+        side), so no concurrent epoch swap can pair counters from one
+        epoch with the seq or entry count of another."""
         with self._stats_lock:
             epoch = self._epoch
             plan: dict[str, int] = self._plan_stats_base.as_dict()
-            answers = self._answer_calls
-            warm_hits = self._warm_hits
-            stage = dict(self._stage_totals)
-            registered_parallel = self._parallel_registered
-            registered_serial = self._serial_registered
-        for key, value in epoch.plan_cache.stats_dict().items():
+            live, entries = epoch.plan_cache.snapshot()
+        for key, value in live.items():
             plan[key] += value
-        plan["entries"] = len(epoch.plan_cache)
+        plan["entries"] = entries
         plan["maxsize"] = epoch.plan_cache.maxsize
+        return epoch, plan
+
+    def stats(self) -> dict[str, object]:
+        """Operational counters for the answering hot path.
+
+        Returns a *deep snapshot* assembled from the telemetry
+        registry (the same cells ``/metrics`` exposes — there is no
+        parallel bookkeeping to drift): every nested dict is freshly
+        built, so a caller (the service ``/stats`` endpoint, a test)
+        can hold or mutate the result while serving continues.
+        Plan-cache counters are cumulative across epochs — the retired
+        epochs' folded base plus the live cache — and are captured
+        atomically with the reported ``epoch`` seq.
+        """
+        epoch, plan = self._plan_counters()
+        answers_snap = self._answers_total.snapshot()
+        answers = int(sum(s.value for s in answers_snap.samples))
+        warm_hits = int(sum(
+            s.value
+            for s in answers_snap.samples
+            if ("cache", "warm") in s.labels
+        ))
+        stage = {name: 0.0 for name in _STAGE_NAMES}
+        for key, total in self._stage_hist.sums().items():
+            stage[key[0]] = total
         return {
             "views": {
                 "registered": len(epoch.views),
                 "materialized": len(epoch.materialized),
-                "registered_parallel": registered_parallel,
-                "registered_serial": registered_serial,
+                "registered_parallel": int(
+                    self._registrations_total.value("parallel")
+                ),
+                "registered_serial": int(
+                    self._registrations_total.value("serial")
+                ),
             },
             "plan_cache": plan,
             "vfilter": epoch.vfilter.compiled_stats(),
@@ -589,28 +687,34 @@ class MaterializedViewSystem:
         """
         if strategy not in _STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; use {_STRATEGIES}")
-        entered = time.perf_counter()
-        pattern = parse_xpath(query) if isinstance(query, str) else query
-        query_key = pattern.canonical_string()
-        started = time.perf_counter()
-        if epoch is None:
-            epoch = self._epoch
-        with self._stats_lock:
-            self._answer_calls += 1
-            self._stage_totals["parse"] += started - entered
+        trace = current_trace()
+        with trace.span("answer", strategy=strategy) as root:
+            entered = self._clock.monotonic()
+            with trace.span("parse"):
+                pattern = (
+                    parse_xpath(query) if isinstance(query, str) else query
+                )
+                query_key = pattern.canonical_string()
+            started = self._clock.monotonic()
+            if epoch is None:
+                epoch = self._epoch
+            self._stage_hist.observe(started - entered, "parse")
+            root.attributes["query"] = query_key
+            root.attributes["epoch"] = epoch.seq
 
-        entry = (
-            epoch.plan_cache.get(query_key, strategy)
-            if epoch.plan_cache.enabled
-            else None
-        )
-        if entry is not None:
-            return self._answer_warm(
-                entry, strategy, query_key, entered, started, epoch
+            entry = (
+                epoch.plan_cache.get(query_key, strategy)
+                if epoch.plan_cache.enabled
+                else None
             )
-        return self._answer_cold(
-            pattern, strategy, query_key, entered, started, epoch
-        )
+            root.attributes["cache"] = "warm" if entry is not None else "cold"
+            if entry is not None:
+                return self._answer_warm(
+                    entry, strategy, query_key, entered, started, epoch
+                )
+            return self._answer_cold(
+                pattern, strategy, query_key, entered, started, epoch
+            )
 
     def _derive_selection(
         self,
@@ -637,15 +741,16 @@ class MaterializedViewSystem:
             epoch = self._epoch
 
         def timed_selection(run: "Callable[[], Selection]") -> Selection:
-            if stage_acc is None:
-                return run()
-            cover_before = stage_acc.get("cover", 0.0)
-            started = time.perf_counter()
-            selection = run()
-            elapsed = time.perf_counter() - started
-            cover_delta = stage_acc.get("cover", 0.0) - cover_before
-            stage_acc["selection"] += elapsed - cover_delta
-            return selection
+            with current_trace().span("selection", strategy=strategy):
+                if stage_acc is None:
+                    return run()
+                cover_before = stage_acc.get("cover", 0.0)
+                started = self._clock.monotonic()
+                selection = run()
+                elapsed = self._clock.monotonic() - started
+                cover_delta = stage_acc.get("cover", 0.0) - cover_before
+                stage_acc["selection"] += elapsed - cover_delta
+                return selection
 
         if strategy == "MN":
             return None, timed_selection(lambda: select_minimum(
@@ -654,10 +759,14 @@ class MaterializedViewSystem:
                 self.fragments.fragment_bytes,
                 units_fn=units_fn,
             ))
-        filter_started = time.perf_counter() if stage_acc is not None else 0.0
-        filter_result = epoch.vfilter.filter(pattern)
+        filter_started = (
+            self._clock.monotonic() if stage_acc is not None else 0.0
+        )
+        with current_trace().span("vfilter") as span:
+            filter_result = epoch.vfilter.filter(pattern)
+            span.attributes["candidates"] = len(filter_result.candidates)
         if stage_acc is not None:
-            stage_acc["vfilter"] += time.perf_counter() - filter_started
+            stage_acc["vfilter"] += self._clock.monotonic() - filter_started
         if strategy in ("MV", "CB"):
             candidates = [
                 epoch.views[view_id] for view_id in filter_result.candidates
@@ -695,9 +804,9 @@ class MaterializedViewSystem:
         }
 
         def units_fn(view: View) -> list[CoverageUnit]:
-            cover_started = time.perf_counter()
+            cover_started = self._clock.monotonic()
             units = self._memo.units(view, query_key, pattern)
-            stage_acc["cover"] += time.perf_counter() - cover_started
+            stage_acc["cover"] += self._clock.monotonic() - cover_started
             return units
 
         try:
@@ -711,9 +820,9 @@ class MaterializedViewSystem:
                 strategy,
                 PlanEntry(pattern, None, None, error=error),
             )
-            with self._stats_lock:
-                for stage, seconds in stage_acc.items():
-                    self._stage_totals[stage] += seconds
+            self._answers_total.inc(1.0, strategy, "cold")
+            for stage, seconds in stage_acc.items():
+                self._stage_hist.observe(seconds, stage)
             raise
         if contracts.enabled():
             context = f"answer({query_key!r}, {strategy})"
@@ -722,19 +831,23 @@ class MaterializedViewSystem:
                 contracts.check_vfilter_sound(
                     pattern, filter_result, list(epoch.materialized), context
                 )
-        lookup_done = time.perf_counter()
+        lookup_done = self._clock.monotonic()
 
-        result = rewrite(
-            selection,
-            pattern,
-            self.fragments,
-            self.document.schema,
-            self.document.fst,
-            memo=self._memo,
-            query_key=query_key,
-            stage_acc=stage_acc,
-        )
-        finished = time.perf_counter()
+        with current_trace().span("rewrite") as span:
+            result = rewrite(
+                selection,
+                pattern,
+                self.fragments,
+                self.document.schema,
+                self.document.fst,
+                memo=self._memo,
+                query_key=query_key,
+                stage_acc=stage_acc,
+                clock=self._clock,
+            )
+            span.attributes["views"] = list(selection.view_ids)
+            span.attributes["answers"] = len(result.codes)
+        finished = self._clock.monotonic()
 
         if contracts.enabled():
             contracts.check_document_order(
@@ -746,11 +859,12 @@ class MaterializedViewSystem:
             entry.result = result
         epoch.plan_cache.put(query_key, strategy, entry)
 
-        with self._stats_lock:
-            self._stage_totals["lookup"] += lookup_done - started
-            self._stage_totals["rewrite"] += finished - lookup_done
-            for stage, seconds in stage_acc.items():
-                self._stage_totals[stage] += seconds
+        self._answers_total.inc(1.0, strategy, "cold")
+        self._answer_hist.observe(finished - started, "cold")
+        self._stage_hist.observe(lookup_done - started, "lookup")
+        self._stage_hist.observe(finished - lookup_done, "rewrite")
+        for stage, seconds in stage_acc.items():
+            self._stage_hist.observe(seconds, stage)
         return AnswerOutcome(
             codes=list(result.codes),
             strategy=strategy,
@@ -779,10 +893,16 @@ class MaterializedViewSystem:
         started: float,
         epoch: RegistryEpoch,
     ) -> AnswerOutcome:
-        with self._stats_lock:
-            self._warm_hits += 1
-            warm_index = self._warm_hits - 1
-        if contracts.enabled() and (
+        self._answers_total.inc(1.0, strategy, "warm")
+        if contracts.enabled():
+            warm_index = int(sum(
+                s.value
+                for s in self._answers_total.snapshot().samples
+                if ("cache", "warm") in s.labels
+            )) - 1
+        else:
+            warm_index = -1
+        if warm_index >= 0 and (
             warm_index % contracts.sample_every() == 0
         ):
             # Before trusting the cached plan (including a cached
@@ -797,30 +917,32 @@ class MaterializedViewSystem:
         if entry.error is not None:
             raise entry.replay_error()
         assert entry.selection is not None
-        lookup_done = time.perf_counter()
+        lookup_done = self._clock.monotonic()
 
         result = entry.result
         if result is None:
-            result = rewrite(
-                entry.selection,
-                entry.pattern,
-                self.fragments,
-                self.document.schema,
-                self.document.fst,
-                memo=self._memo,
-                query_key=query_key,
-            )
+            with current_trace().span("rewrite"):
+                result = rewrite(
+                    entry.selection,
+                    entry.pattern,
+                    self.fragments,
+                    self.document.schema,
+                    self.document.fst,
+                    memo=self._memo,
+                    query_key=query_key,
+                    clock=self._clock,
+                )
             if self._cache_results:
                 entry.result = result
         if contracts.enabled():
             contracts.check_document_order(
                 result.codes, f"answer({query_key!r}, {strategy}) [warm]"
             )
-        finished = time.perf_counter()
+        finished = self._clock.monotonic()
 
-        with self._stats_lock:
-            self._stage_totals["lookup"] += lookup_done - started
-            self._stage_totals["rewrite"] += finished - lookup_done
+        self._answer_hist.observe(finished - started, "warm")
+        self._stage_hist.observe(lookup_done - started, "lookup")
+        self._stage_hist.observe(finished - lookup_done, "rewrite")
         return AnswerOutcome(
             codes=list(result.codes),
             strategy=strategy,
@@ -892,9 +1014,9 @@ class MaterializedViewSystem:
         """BN: evaluate on base data with the basic node index."""
         pattern = parse_xpath(query) if isinstance(query, str) else query
         index = self._ensure_node_index()
-        started = time.perf_counter()
+        started = self._clock.monotonic()
         answers = index.evaluate(pattern)
-        finished = time.perf_counter()
+        finished = self._clock.monotonic()
         return AnswerOutcome(
             _sorted_codes(answers), "BN", total_seconds=finished - started
         )
@@ -903,9 +1025,9 @@ class MaterializedViewSystem:
         """BF: evaluate on base data with the full path index."""
         pattern = parse_xpath(query) if isinstance(query, str) else query
         index = self._ensure_path_index()
-        started = time.perf_counter()
+        started = self._clock.monotonic()
         answers = index.evaluate(pattern)
-        finished = time.perf_counter()
+        finished = self._clock.monotonic()
         return AnswerOutcome(
             _sorted_codes(answers), "BF", total_seconds=finished - started
         )
@@ -938,9 +1060,9 @@ class MaterializedViewSystem:
 
         pattern = parse_xpath(query) if isinstance(query, str) else query
         index = self._ensure_stream_index()
-        started = time.perf_counter()
+        started = self._clock.monotonic()
         codes = sorted(tjfast_evaluate(pattern, self.document, index))
-        finished = time.perf_counter()
+        finished = self._clock.monotonic()
         return AnswerOutcome(codes, "TJ", total_seconds=finished - started)
 
     def direct_codes(self, query: str | TreePattern) -> list[DeweyCode]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import current_trace
 from ..storage.kvstore import KVStore
 from ..storage.serialize import encode_text, encode_varint
 from ..xpath.decompose import decompose
@@ -173,19 +174,21 @@ class VFilter:
         matched_paths: dict[str, set[int]] = {}
         raw_lists: dict[PathPattern, dict[str, int]] = {}
         max_path_length = 0
-        for path in unique_paths:
-            tokens = str_tokens(path)
-            path_length = path.length
-            max_path_length = max(max_path_length, path_length)
-            per_path = dict(self._wildcard_best(path_length))
-            for entry in self.nfa.read(tokens):
-                matched_paths.setdefault(entry.view_id, set()).add(
-                    entry.path_index
-                )
-                best = per_path.get(entry.view_id)
-                if best is None or entry.length > best:
-                    per_path[entry.view_id] = entry.length
-            raw_lists[path] = per_path
+        with current_trace().span("nfa", paths=len(unique_paths)) as span:
+            for path in unique_paths:
+                tokens = str_tokens(path)
+                path_length = path.length
+                max_path_length = max(max_path_length, path_length)
+                per_path = dict(self._wildcard_best(path_length))
+                for entry in self.nfa.read(tokens):
+                    matched_paths.setdefault(entry.view_id, set()).add(
+                        entry.path_index
+                    )
+                    best = per_path.get(entry.view_id)
+                    if best is None or entry.length > best:
+                        per_path[entry.view_id] = entry.length
+                raw_lists[path] = per_path
+            span.attributes["views_matched"] = len(matched_paths)
 
         # Lines 17-21: a candidate view has every one of its paths
         # matched (NUM(V) = |D(V)|).  Only views that matched something

@@ -1,0 +1,49 @@
+"""Observability: injectable clocks, metrics, traces, the slow log.
+
+The lowest internal layer after ``errors`` — it imports nothing else
+from :mod:`repro`, so every other layer (core, service, bench, cli)
+may depend on it without cycles.  See DESIGN.md §14 for the metric
+name catalog and trace span tree.
+"""
+
+from .clock import SYSTEM_CLOCK, Clock, ManualClock, SystemClock
+from .expo import ExpositionError, parse_exposition, render_prometheus
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramView,
+    MetricSample,
+    MetricSnapshot,
+    MetricsRegistry,
+)
+from .slowlog import SlowQueryLog, SlowQueryRecord
+from .telemetry import Telemetry
+from .trace import NULL_TRACE, Span, Trace, Tracer, current_trace
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "ExpositionError",
+    "Gauge",
+    "Histogram",
+    "HistogramView",
+    "ManualClock",
+    "MetricSample",
+    "MetricSnapshot",
+    "MetricsRegistry",
+    "NULL_TRACE",
+    "SYSTEM_CLOCK",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "Span",
+    "SystemClock",
+    "Telemetry",
+    "Trace",
+    "Tracer",
+    "current_trace",
+    "parse_exposition",
+    "render_prometheus",
+]

@@ -1,0 +1,79 @@
+"""Injectable time sources.
+
+Every component that measures or decides on time takes a
+:class:`Clock` instead of calling :mod:`time` directly.  This is what
+keeps ``core/`` deterministic under xmvrlint rule L4 — the rule bans
+*direct* clock calls there, and the only sanctioned way for core code
+to read time is through the clock object its system was built with.
+Production wiring injects :data:`SYSTEM_CLOCK`; tests inject a
+:class:`ManualClock` and advance it explicitly, which makes latency
+histograms and slow-log contents exactly reproducible.
+
+Two distinct readings are exposed because they answer different
+questions:
+
+* :meth:`Clock.monotonic` — duration measurement (span lengths, stage
+  timings, deadlines).  Never jumps backwards; unrelated to calendar
+  time.
+* :meth:`Clock.wall` — event timestamps for humans (slow-log entries,
+  benchmark run metadata).  May jump on NTP adjustment; never used for
+  measuring or deciding.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["Clock", "ManualClock", "SYSTEM_CLOCK", "SystemClock"]
+
+
+class Clock(Protocol):
+    """The time interface the rest of the system programs against."""
+
+    def monotonic(self) -> float:
+        """Seconds on a monotonically non-decreasing scale."""
+        ...
+
+    def wall(self) -> float:
+        """Seconds since the Unix epoch (display only)."""
+        ...
+
+
+class SystemClock:
+    """The real clocks: ``perf_counter`` for spans, ``time`` for wall."""
+
+    def monotonic(self) -> float:
+        return time.perf_counter()
+
+    def wall(self) -> float:
+        return time.time()
+
+
+class ManualClock:
+    """A hand-advanced clock for deterministic tests.
+
+    Not thread-safe by design: tests that advance time from several
+    threads are testing the wrong thing.
+    """
+
+    def __init__(self, start: float = 0.0, wall_start: float = 0.0) -> None:
+        self._monotonic = start
+        self._wall = wall_start
+
+    def monotonic(self) -> float:
+        return self._monotonic
+
+    def wall(self) -> float:
+        return self._wall
+
+    def advance(self, seconds: float) -> None:
+        """Move both readings forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError("clocks do not run backwards")
+        self._monotonic += seconds
+        self._wall += seconds
+
+
+#: Shared default instance — stateless, so one is enough.
+SYSTEM_CLOCK = SystemClock()

@@ -1,0 +1,273 @@
+"""Prometheus text exposition: rendering and a well-formedness parser.
+
+:func:`render_prometheus` turns a registry's snapshots into the text
+exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers per
+family, one ``name{labels} value`` line per sample, histogram families
+emitting cumulative ``_bucket{le=...}`` rows capped by ``+Inf`` plus
+``_sum`` and ``_count``.
+
+:func:`parse_exposition` is the inverse used by the CI smoke job and
+the tests: it re-parses a payload, *validating* as it goes (HELP/TYPE
+before samples, escaped label values, bucket monotonicity, ``+Inf``
+agreeing with ``_count``) and returns the samples grouped by family so
+callers can assert on values.  A deliberately independent
+implementation — it shares no code with the renderer, so a rendering
+bug cannot hide behind a matching parsing bug.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from .registry import MetricSnapshot
+
+__all__ = ["ExpositionError", "ParsedFamily", "parse_exposition",
+           "render_prometheus"]
+
+
+class ExpositionError(ValueError):
+    """The payload is not well-formed text exposition format."""
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshots: list[MetricSnapshot]) -> str:
+    """Render metric snapshots to text exposition format 0.0.4."""
+    lines: list[str] = []
+    for snap in snapshots:
+        lines.append(f"# HELP {snap.name} {_escape_help(snap.help)}")
+        lines.append(f"# TYPE {snap.name} {snap.kind}")
+        for sample in snap.samples:
+            if sample.labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label_value(value)}"'
+                    for key, value in sample.labels
+                )
+                lines.append(
+                    f"{sample.name}{{{rendered}}} "
+                    f"{_format_value(sample.value)}"
+                )
+            else:
+                lines.append(
+                    f"{sample.name} {_format_value(sample.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(slots=True)
+class ParsedFamily:
+    """One metric family recovered from an exposition payload."""
+
+    name: str
+    kind: str
+    help: str
+    #: (sample_name, labels) -> value
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = field(
+        default_factory=dict
+    )
+
+    def value(
+        self, name: str | None = None, **labels: str
+    ) -> float | None:
+        """The sample value for ``name`` (defaults to the family name)
+        and exactly the given labels, or ``None`` if absent."""
+        key = (name or self.name, tuple(sorted(labels.items())))
+        for (sample_name, sample_labels), value in self.samples.items():
+            if (sample_name, tuple(sorted(sample_labels))) == key:
+                return value
+        return None
+
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="'
+    r'(?P<value>(?:[^"\\]|\\.)*)"\s*(?P<sep>,|$)'
+)
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(text: str, where: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ExpositionError(f"{where}: bad value {text!r}") from exc
+
+
+def _parse_labels(
+    text: str, where: str
+) -> tuple[tuple[str, str], ...]:
+    items: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _LABEL_RE.match(text, position)
+        if match is None:
+            raise ExpositionError(f"{where}: bad label syntax {text!r}")
+        raw = match.group("value")
+        value = (
+            raw.replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\\\\", "\\")
+        )
+        items.append((match.group("key"), value))
+        position = match.end()
+        if match.group("sep") == "" and position < len(text):
+            raise ExpositionError(f"{where}: trailing {text[position:]!r}")
+    return tuple(items)
+
+
+def _family_of(sample_name: str, kind_by_name: dict[str, str]) -> str:
+    """Map a sample name back to its family (histogram suffixes)."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if kind_by_name.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def _check_histogram(family: ParsedFamily) -> None:
+    """Bucket rows must be cumulative and ``+Inf`` must equal
+    ``_count`` for every label set of a histogram family."""
+    series: dict[tuple[tuple[str, str], ...], list[tuple[float, float]]]
+    series = {}
+    counts: dict[tuple[tuple[str, str], ...], float] = {}
+    for (sample_name, labels), value in family.samples.items():
+        if sample_name == family.name + "_bucket":
+            bound_text = dict(labels).get("le")
+            if bound_text is None:
+                raise ExpositionError(
+                    f"{family.name}: bucket row missing le label"
+                )
+            rest = tuple(
+                item for item in labels if item[0] != "le"
+            )
+            bound = (
+                math.inf
+                if bound_text == "+Inf"
+                else _parse_value(bound_text, family.name)
+            )
+            series.setdefault(rest, []).append((bound, value))
+        elif sample_name == family.name + "_count":
+            counts[labels] = value
+    for labels, rows in series.items():
+        rows.sort(key=lambda row: row[0])
+        if not rows or rows[-1][0] != math.inf:
+            raise ExpositionError(
+                f"{family.name}: histogram series missing +Inf bucket"
+            )
+        previous = -math.inf
+        for bound, value in rows:
+            if value < previous:
+                raise ExpositionError(
+                    f"{family.name}: bucket counts not cumulative at "
+                    f"le={bound}"
+                )
+            previous = value
+        expected = counts.get(labels)
+        if expected is None or rows[-1][1] != expected:
+            raise ExpositionError(
+                f"{family.name}: +Inf bucket disagrees with _count"
+            )
+
+
+def parse_exposition(payload: str) -> dict[str, ParsedFamily]:
+    """Parse + validate a text exposition payload.
+
+    Raises :class:`ExpositionError` on any malformation; returns the
+    families keyed by name otherwise.
+    """
+    if not payload.endswith("\n"):
+        raise ExpositionError("payload must end with a newline")
+    families: dict[str, ParsedFamily] = {}
+    kind_by_name: dict[str, str] = {}
+    help_seen: set[str] = set()
+    for number, line in enumerate(payload.splitlines(), start=1):
+        where = f"line {number}"
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            if not _NAME_RE.fullmatch(name):
+                raise ExpositionError(f"{where}: bad metric name {name!r}")
+            if name in help_seen:
+                raise ExpositionError(f"{where}: duplicate HELP for {name}")
+            help_seen.add(name)
+            families[name] = ParsedFamily(
+                name=name,
+                kind="untyped",
+                help=parts[1] if len(parts) > 1 else "",
+            )
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2:
+                raise ExpositionError(f"{where}: malformed TYPE line")
+            name, kind = parts
+            if kind not in {"counter", "gauge", "histogram", "summary",
+                            "untyped"}:
+                raise ExpositionError(f"{where}: unknown type {kind!r}")
+            if name not in families:
+                families[name] = ParsedFamily(name=name, kind=kind, help="")
+            families[name].kind = kind
+            kind_by_name[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExpositionError(f"{where}: unparseable sample {line!r}")
+        sample_name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", where)
+        value = _parse_value(match.group("value"), where)
+        family_name = _family_of(sample_name, kind_by_name)
+        family = families.get(family_name)
+        if family is None:
+            raise ExpositionError(
+                f"{where}: sample {sample_name!r} precedes its "
+                f"HELP/TYPE header"
+            )
+        key = (sample_name, labels)
+        if key in family.samples:
+            raise ExpositionError(
+                f"{where}: duplicate sample {sample_name}{labels!r}"
+            )
+        family.samples[key] = value
+    for family in families.values():
+        if family.kind == "histogram":
+            _check_histogram(family)
+    return families

@@ -1,0 +1,68 @@
+"""The telemetry bundle: one object wiring clock, metrics, traces, log.
+
+Every instrumented component takes a :class:`Telemetry` (or has one
+made for it) instead of four separate objects.  The bundle is plain
+and immutable — construction order and sharing are decided by the
+caller: a :class:`~repro.core.system.MaterializedViewSystem` builds
+one by default, the service layer reuses the system's bundle so the
+scheduler's counters and the derivation histograms land in the same
+registry, and tests build one around a
+:class:`~repro.obs.clock.ManualClock`.
+
+:meth:`Telemetry.create` reads the two environment knobs:
+
+* ``REPRO_TRACE_SAMPLE=N`` — record full span trees for one query in
+  every ``N`` (default 1: trace everything; 0 disables span bodies).
+* ``REPRO_SLOWLOG_CAPACITY=N`` — resident slow-log entries
+  (default 32).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from .clock import SYSTEM_CLOCK, Clock
+from .registry import MetricsRegistry
+from .slowlog import DEFAULT_CAPACITY, SlowQueryLog
+from .trace import Tracer
+
+__all__ = ["Telemetry"]
+
+
+def _env_int(name: str, default: int, minimum: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return max(minimum, value)
+
+
+@dataclass(frozen=True)
+class Telemetry:
+    """Clock + registry + tracer + slow log, wired together."""
+
+    clock: Clock = SYSTEM_CLOCK
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(
+        default_factory=lambda: Tracer(SYSTEM_CLOCK, sample_every=1)
+    )
+    slowlog: SlowQueryLog = field(default_factory=SlowQueryLog)
+
+    @classmethod
+    def create(cls, clock: Clock | None = None) -> "Telemetry":
+        """A bundle configured from the environment."""
+        resolved: Clock = clock if clock is not None else SYSTEM_CLOCK
+        sample_every = _env_int("REPRO_TRACE_SAMPLE", default=1, minimum=0)
+        capacity = _env_int(
+            "REPRO_SLOWLOG_CAPACITY", default=DEFAULT_CAPACITY, minimum=1
+        )
+        return cls(
+            clock=resolved,
+            registry=MetricsRegistry(),
+            tracer=Tracer(resolved, sample_every=sample_every),
+            slowlog=SlowQueryLog(capacity=capacity),
+        )

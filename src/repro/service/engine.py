@@ -23,6 +23,7 @@ import threading
 from typing import Callable, TypeVar
 
 from ..core.system import AnswerOutcome, MaterializedViewSystem
+from ..obs import current_trace
 from ..xpath.pattern import TreePattern
 
 __all__ = ["SnapshotEngine"]
@@ -74,7 +75,11 @@ class SnapshotEngine:
         ``epoch_seq`` records which registry state served it (the
         linearization point used by the concurrency tests).
         """
-        self._enter_shared()
+        # The gate wait is where reader/maintenance contention shows
+        # up; give it its own span so slow-log entries distinguish
+        # "blocked behind maintenance" from "derivation was slow".
+        with current_trace().span("engine_gate"):
+            self._enter_shared()
         try:
             return self._system.answer(query, strategy)
         finally:
@@ -100,12 +105,13 @@ class SnapshotEngine:
         queue behind us), then calls ``operation(system)`` — typically
         a :class:`~repro.core.maintenance.DocumentEditor` update.
         """
-        with self._gate:
-            self._maintenance_waiting += 1
-            while self._maintaining or self._active:
-                self._gate.wait()
-            self._maintenance_waiting -= 1
-            self._maintaining = True
+        with current_trace().span("maintenance_drain"):
+            with self._gate:
+                self._maintenance_waiting += 1
+                while self._maintaining or self._active:
+                    self._gate.wait()
+                self._maintenance_waiting -= 1
+                self._maintaining = True
         try:
             return operation(self._system)
         finally:

@@ -11,7 +11,7 @@ sockets.  Status mapping:
 duplicate view id (``ValueError``)        409
 ``ViewNotAnswerableError``                422
 :class:`AdmissionRejectedError`           503 (+ ``Retry-After``)
-:class:`DeadlineExceededError`            504
+:class:`DeadlineExceededError`            504 (+ ``Retry-After``)
 any other :class:`~repro.errors.ReproError`  500
 ========================================  ======
 """
@@ -132,6 +132,9 @@ def error_payload(
         body["retry_after"] = error.retry_after
     elif isinstance(error, DeadlineExceededError):
         status = 504
+        retry_after = max(error.retry_after, 0.01)
+        headers["Retry-After"] = f"{retry_after:.3f}"
+        body["retry_after"] = retry_after
     elif isinstance(error, ValueError) and "duplicate view id" in str(error):
         status = 409
     else:

@@ -11,12 +11,28 @@
   waiter that times out raises :class:`DeadlineExceededError`; a
   request whose whole flight expired while still queued is dropped by
   the worker without being evaluated (its waiters see the same error).
+  Both flavors carry a ``retry_after`` hint, mirrored into the 504's
+  ``Retry-After`` header by the protocol layer.
 * **Coalescing** — concurrent requests for the same
   ``(canonical query, strategy)`` key fold into one *flight*: a single
   derivation/evaluation fans its outcome out to every waiter.  Each
   waiter receives its own shallow copy (callers mutate ``codes``), and
   replayed :class:`ViewNotAnswerableError` failures are re-raised as
   fresh instances so tracebacks are not shared across threads.
+
+**Telemetry.**  The scheduler is the trace root: admission creates a
+:class:`~repro.obs.trace.Trace` for each flight's leader, the worker
+activates it around the engine call (so every span the derivation
+pipeline opens lands in that trace), and completion feeds the slow-
+query log.  Counters and latency histograms live in the system's
+shared :class:`~repro.obs.registry.MetricsRegistry` — the same cells
+``GET /metrics`` exposes — with a construction-time baseline so
+:meth:`stats` stays per-scheduler even though the registry is shared.
+
+Deadline and queue arithmetic intentionally stay on the *real*
+``time.monotonic`` (they parameterize real ``Event.wait`` timeouts);
+service-time measurement and slow-log timestamps go through the
+injected telemetry clock so tests can fake them.
 
 The scheduler never interprets results — correctness is entirely the
 engine's business; this layer only decides *when* and *once*.
@@ -30,6 +46,7 @@ import time
 
 from ..core.system import AnswerOutcome
 from ..errors import ReproError, ViewNotAnswerableError
+from ..obs import SlowQueryRecord, Telemetry, Trace
 from ..xpath.parser import parse_xpath
 from ..xpath.pattern import TreePattern
 from .engine import SnapshotEngine
@@ -44,6 +61,13 @@ __all__ = [
 _EWMA_KEEP = 0.8
 #: Optimistic prior for the first retry-after estimate, seconds.
 _EWMA_PRIOR = 0.005
+
+#: Request lifecycle events counted in ``repro_requests_total``.
+_EVENTS = ("submitted", "coalesced", "completed", "failed")
+#: Rejection reasons counted in ``repro_requests_rejected_total``:
+#: ``queue_full`` → 503, ``deadline`` (waiter timed out) → 504,
+#: ``expired_in_queue`` (worker dropped the flight unevaluated).
+_REASONS = ("queue_full", "deadline", "expired_in_queue")
 
 
 class AdmissionRejectedError(ReproError):
@@ -60,7 +84,16 @@ class AdmissionRejectedError(ReproError):
 
 
 class DeadlineExceededError(ReproError):
-    """The request was not served within its deadline."""
+    """The request was not served within its deadline.
+
+    ``retry_after`` hints (seconds) when a retry is likely to be both
+    admitted and served in time — the same EWMA-based estimate the
+    admission rejection carries.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 def _copy_outcome(outcome: AnswerOutcome) -> AnswerOutcome:
@@ -88,7 +121,9 @@ def _copy_error(error: BaseException) -> BaseException:
             str(error), uncovered=error.uncovered
         )
     if isinstance(error, DeadlineExceededError):
-        return DeadlineExceededError(str(error))
+        return DeadlineExceededError(
+            str(error), retry_after=error.retry_after
+        )
     return error
 
 
@@ -96,7 +131,7 @@ class _Flight:
     """One coalesced unit of work plus its fan-out latch."""
 
     __slots__ = ("key", "pattern", "strategy", "deadline", "done",
-                 "outcome", "error", "waiters")
+                 "outcome", "error", "waiters", "trace", "created")
 
     def __init__(
         self,
@@ -104,6 +139,7 @@ class _Flight:
         pattern: TreePattern,
         strategy: str,
         deadline: float,
+        trace: Trace,
     ) -> None:
         self.key = key
         self.pattern = pattern
@@ -113,6 +149,11 @@ class _Flight:
         self.outcome: AnswerOutcome | None = None
         self.error: BaseException | None = None
         self.waiters = 1
+        #: The per-request trace; spans opened anywhere downstream of
+        #: the worker's engine call nest into it.
+        self.trace = trace
+        #: Real-monotonic admission instant (queue-wait measurement).
+        self.created = time.monotonic()
 
 
 class QueryScheduler:
@@ -125,12 +166,25 @@ class QueryScheduler:
         queue_limit: int = 64,
         default_timeout: float = 10.0,
         coalesce: bool = True,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self._engine = engine
         self._default_timeout = default_timeout
         self._coalesce = coalesce
+        if telemetry is None:
+            system = getattr(engine, "system", None)
+            telemetry = getattr(system, "telemetry", None)
+        if telemetry is None:
+            telemetry = Telemetry.create()
+        #: The bundle shared with the engine's system (one registry,
+        #: one slow log) — or a private one when the engine carries no
+        #: system (test fakes).
+        self.telemetry = telemetry
+        self._clock = telemetry.clock
+        self._tracer = telemetry.tracer
+        self._slowlog = telemetry.slowlog
         self._queue: queue.Queue[_Flight | None] = queue.Queue(
             maxsize=max(1, queue_limit)
         )
@@ -141,14 +195,43 @@ class QueryScheduler:
         self._ewma = _EWMA_PRIOR
         #: guarded-by: _lock
         self._closed = False
-        #: guarded-by: _lock
-        self._counters = {
-            "submitted": 0,
-            "coalesced": 0,
-            "completed": 0,
-            "failed": 0,
-            "rejected": 0,
-            "expired": 0,
+        registry = telemetry.registry
+        self._events_total = registry.counter(
+            "repro_requests_total",
+            "Scheduler request lifecycle events.",
+            ("event",),
+        )
+        self._rejected_total = registry.counter(
+            "repro_requests_rejected_total",
+            "Requests refused or dropped by the scheduler "
+            "(queue_full -> 503, deadline -> 504, expired_in_queue -> "
+            "dropped unevaluated).",
+            ("reason",),
+        )
+        self._request_hist = registry.histogram(
+            "repro_request_seconds",
+            "Engine service time of executed flights, by outcome.",
+            ("status",),
+        )
+        registry.gauge(
+            "repro_queue_depth",
+            "Flights waiting in the admission queue.",
+            fn=lambda: float(self._queue.qsize()),
+        )
+        registry.gauge(
+            "repro_ewma_service_seconds",
+            "EWMA of recent engine service time.",
+            fn=self._ewma_value,
+        )
+        # stats() is per-scheduler; the registry cells are shared with
+        # the system (and any earlier scheduler over it), so remember
+        # the construction-time values and report deltas.
+        self._events_base = {
+            event: self._events_total.value(event) for event in _EVENTS
+        }
+        self._rejected_base = {
+            reason: self._rejected_total.value(reason)
+            for reason in _REASONS
         }
         self._threads = [
             threading.Thread(
@@ -183,22 +266,28 @@ class QueryScheduler:
         key = (pattern.canonical_string(), strategy)
 
         leader = False
+        coalesced = False
         with self._lock:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
-            self._counters["submitted"] += 1
             flight = self._flights.get(key) if self._coalesce else None
             if flight is not None:
                 flight.waiters += 1
                 # The flight serves the furthest-out waiter; joiners
                 # must not inherit an earlier leader's tighter budget.
                 flight.deadline = max(flight.deadline, deadline)
-                self._counters["coalesced"] += 1
+                coalesced = True
             else:
-                flight = _Flight(key, pattern, strategy, deadline)
+                flight = _Flight(
+                    key, pattern, strategy, deadline,
+                    self._tracer.trace(),
+                )
                 leader = True
                 if self._coalesce:
                     self._flights[key] = flight
+        self._events_total.inc(1.0, "submitted")
+        if coalesced:
+            self._events_total.inc(1.0, "coalesced")
 
         if leader:
             try:
@@ -207,8 +296,8 @@ class QueryScheduler:
                 with self._lock:
                     if self._flights.get(key) is flight:
                         del self._flights[key]
-                    self._counters["rejected"] += 1
                     retry_after = self._retry_after_locked()
+                self._rejected_total.inc(1.0, "queue_full")
                 raise AdmissionRejectedError(
                     f"admission queue full ({self._queue.maxsize} "
                     f"deep); retry after {retry_after:.3f}s",
@@ -217,8 +306,12 @@ class QueryScheduler:
 
         remaining = deadline - time.monotonic()
         if not flight.done.wait(timeout=max(0.0, remaining)):
+            with self._lock:
+                retry_after = self._retry_after_locked()
+            self._rejected_total.inc(1.0, "deadline")
             raise DeadlineExceededError(
-                f"query not served within {budget:.3f}s"
+                f"query not served within {budget:.3f}s",
+                retry_after=retry_after,
             )
         if flight.error is not None:
             raise _copy_error(flight.error)
@@ -226,9 +319,31 @@ class QueryScheduler:
         return _copy_outcome(flight.outcome)
 
     def stats(self) -> dict[str, object]:
-        """Counter snapshot plus live queue depth."""
+        """Counter snapshot plus live queue depth.
+
+        Values are deltas against the construction-time registry state,
+        so they count *this* scheduler's traffic even though the
+        underlying metric cells are shared with the system.
+        """
+        snapshot: dict[str, object] = {
+            event: int(
+                self._events_total.value(event) - self._events_base[event]
+            )
+            for event in _EVENTS
+        }
+        snapshot["rejected"] = int(
+            self._rejected_total.value("queue_full")
+            - self._rejected_base["queue_full"]
+        )
+        snapshot["expired"] = int(
+            self._rejected_total.value("expired_in_queue")
+            - self._rejected_base["expired_in_queue"]
+        )
+        snapshot["deadline_waits"] = int(
+            self._rejected_total.value("deadline")
+            - self._rejected_base["deadline"]
+        )
         with self._lock:
-            snapshot: dict[str, object] = dict(self._counters)
             snapshot["ewma_service_seconds"] = self._ewma
             snapshot["in_flight"] = len(self._flights)
         snapshot["queue_depth"] = self._queue.qsize()
@@ -256,6 +371,10 @@ class QueryScheduler:
     # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
+    def _ewma_value(self) -> float:
+        with self._lock:
+            return self._ewma
+
     def _retry_after_locked(self) -> float:
         depth = self._queue.qsize() + 1
         return max(0.01, self._ewma * depth / len(self._threads))
@@ -267,29 +386,71 @@ class QueryScheduler:
                 return
             if time.monotonic() >= flight.deadline:
                 with self._lock:
-                    self._counters["expired"] += 1
+                    retry_after = self._retry_after_locked()
+                self._rejected_total.inc(1.0, "expired_in_queue")
                 self._finish(
                     flight,
                     error=DeadlineExceededError(
-                        "request expired while queued"
+                        "request expired while queued",
+                        retry_after=retry_after,
                     ),
                 )
                 continue
-            started = time.monotonic()
+            queue_wait = time.monotonic() - flight.created
+            started = self._clock.monotonic()
             try:
-                outcome = self._engine.answer(
-                    flight.pattern, flight.strategy
-                )
+                with flight.trace.activate():
+                    with flight.trace.span(
+                        "serve",
+                        query=flight.key[0],
+                        strategy=flight.strategy,
+                    ) as span:
+                        span.attributes["queue_wait_seconds"] = queue_wait
+                        outcome = self._engine.answer(
+                            flight.pattern, flight.strategy
+                        )
             except BaseException as error:
+                elapsed = self._clock.monotonic() - started
+                self._request_hist.observe(elapsed, "error")
+                self._record_slow(flight, None, error, elapsed)
                 self._finish(flight, error=error)
             else:
-                elapsed = time.monotonic() - started
+                elapsed = self._clock.monotonic() - started
                 with self._lock:
                     self._ewma = (
                         _EWMA_KEEP * self._ewma
                         + (1.0 - _EWMA_KEEP) * elapsed
                     )
+                self._request_hist.observe(elapsed, "ok")
+                self._record_slow(flight, outcome, None, elapsed)
                 self._finish(flight, outcome=outcome)
+
+    def _record_slow(
+        self,
+        flight: _Flight,
+        outcome: AnswerOutcome | None,
+        error: BaseException | None,
+        elapsed: float,
+    ) -> None:
+        self._slowlog.record(SlowQueryRecord(
+            trace_id=flight.trace.trace_id,
+            query=flight.key[0],
+            strategy=flight.strategy,
+            status="ok" if error is None else type(error).__name__,
+            total_seconds=elapsed,
+            wall_time=self._clock.wall(),
+            epoch=outcome.epoch_seq if outcome is not None else -1,
+            plan_cache_hit=(
+                outcome.plan_cache_hit if outcome is not None else False
+            ),
+            view_ids=(
+                tuple(outcome.view_ids) if outcome is not None else ()
+            ),
+            stage_seconds=(
+                dict(outcome.stage_seconds) if outcome is not None else {}
+            ),
+            spans=flight.trace.span_tree(),
+        ))
 
     def _finish(
         self,
@@ -304,8 +465,7 @@ class QueryScheduler:
             # fresh flight rather than joining a finished one.
             if self._flights.get(flight.key) is flight:
                 del self._flights[flight.key]
-            if error is None:
-                self._counters["completed"] += 1
-            else:
-                self._counters["failed"] += 1
+        self._events_total.inc(
+            1.0, "completed" if error is None else "failed"
+        )
         flight.done.set()

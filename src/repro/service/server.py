@@ -7,6 +7,10 @@ Endpoints:
 * ``POST /register`` — ``{"view_id", "expression"}`` → 201 on
   success, 409 on a duplicate id.
 * ``GET /stats``     — engine + scheduler counter snapshot.
+* ``GET /metrics``   — Prometheus text exposition (version 0.0.4) of
+  the system's shared metrics registry.
+* ``GET /debug/slow[?limit=N]`` — slow-query log, slowest first, each
+  record carrying its stage timings and (when sampled) span tree.
 * ``GET /healthz``   — liveness plus the current epoch sequence.
 
 The handler delegates every status decision to
@@ -20,7 +24,9 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs
 
+from ..obs import render_prometheus
 from .engine import SnapshotEngine
 from .protocol import (
     ProtocolError,
@@ -102,9 +108,41 @@ class _Handler(BaseHTTPRequestHandler):
         except BaseException as error:
             self._send_error(error)
 
+    def _send_metrics(self) -> None:
+        telemetry = self.service.engine.system.telemetry
+        payload = render_prometheus(
+            telemetry.registry.collect()
+        ).encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_slowlog(self, query_string: str) -> None:
+        params = parse_qs(query_string)
+        limit: int | None = None
+        raw_limit = params.get("limit", [""])[0]
+        if raw_limit:
+            try:
+                limit = int(raw_limit)
+            except ValueError:
+                limit = 0
+            if limit < 1:
+                raise ProtocolError("limit must be a positive integer")
+        slowlog = self.service.engine.system.telemetry.slowlog
+        body: dict[str, Any] = dict(slowlog.stats())
+        body["slow_queries"] = [
+            record.as_dict() for record in slowlog.entries(limit)
+        ]
+        self._send_json(200, body)
+
     def do_GET(self) -> None:
+        path, _, query_string = self.path.partition("?")
         try:
-            if self.path == "/stats":
+            if path == "/stats":
                 self._send_json(
                     200,
                     {
@@ -112,7 +150,11 @@ class _Handler(BaseHTTPRequestHandler):
                         "scheduler": self.service.scheduler.stats(),
                     },
                 )
-            elif self.path == "/healthz":
+            elif path == "/metrics":
+                self._send_metrics()
+            elif path == "/debug/slow":
+                self._send_slowlog(query_string)
+            elif path == "/healthz":
                 epoch = self.service.engine.system.current_epoch()
                 self._send_json(
                     200, {"status": "ok", "epoch": epoch.seq}

@@ -159,11 +159,12 @@ def test_solve_fixpoint_transitive_reachability():
 # callgraph: layering and call resolution
 # ----------------------------------------------------------------------
 def test_layer_of_ranks():
-    assert layer_of("repro.xmltree.tree") == ("xmltree", 1)
-    assert layer_of("repro.core.system") == ("core", 5)
-    assert layer_of("repro.analysis.engine") == ("analysis", 6)
-    assert layer_of("repro.workload.gen") == ("workload", 6)
-    assert layer_of("repro.bench.run") == ("bench", 7)
+    assert layer_of("repro.obs.registry") == ("obs", 1)
+    assert layer_of("repro.xmltree.tree") == ("xmltree", 2)
+    assert layer_of("repro.core.system") == ("core", 6)
+    assert layer_of("repro.analysis.engine") == ("analysis", 7)
+    assert layer_of("repro.workload.gen") == ("workload", 7)
+    assert layer_of("repro.bench.run") == ("bench", 8)
     assert layer_of("outside.package") is None
 
 

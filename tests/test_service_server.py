@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.system import MaterializedViewSystem
 from repro.errors import ViewNotAnswerableError, XPathSyntaxError
+from repro.obs import parse_exposition
 from repro.service import (
     AdmissionRejectedError,
     DeadlineExceededError,
@@ -197,3 +198,50 @@ def test_in_process_client_maps_errors(served):
     assert client.query("//item/name") == 200
     assert client.query("//no/such") == 422
     assert client.query("!!bad") == 400
+
+
+def _call_raw(server, path):
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        data = response.read()
+        return response.status, data, dict(response.getheaders())
+    finally:
+        connection.close()
+
+
+def test_metrics_endpoint_serves_prometheus_text(served):
+    _call(served, "POST", "/query", {"query": "//item/name"})
+    status, payload, headers = _call_raw(served, "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+    families = parse_exposition(payload.decode("utf-8"))
+    answers = families["repro_answers_total"]
+    assert sum(answers.samples.values()) >= 1.0
+    requests = families["repro_requests_total"]
+    assert (requests.value(event="completed") or 0.0) >= 1.0
+    assert "repro_stage_seconds" in families
+    assert "repro_queue_depth" in families
+
+
+def test_debug_slow_exposes_traced_requests(served):
+    _call(served, "POST", "/query", {"query": "//item/name"})
+    status, body, _ = _call(served, "GET", "/debug/slow?limit=4")
+    assert status == 200
+    assert body["resident"] >= 1
+    assert len(body["slow_queries"]) <= 4
+    record = body["slow_queries"][0]
+    assert record["trace_id"].startswith("query-")
+    assert record["total_seconds"] > 0.0
+    (serve,) = record["spans"]
+    assert serve["name"] == "serve"
+    assert any(
+        child["name"] == "answer" for child in serve["children"]
+    )
+
+
+def test_debug_slow_rejects_bad_limit(served):
+    assert _call(served, "GET", "/debug/slow?limit=frog")[0] == 400
+    assert _call(served, "GET", "/debug/slow?limit=-1")[0] == 400

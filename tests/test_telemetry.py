@@ -1,0 +1,479 @@
+"""Telemetry subsystem (repro.obs) and its serving-pipeline wiring.
+
+Covers the metrics registry primitives, the span tracer, the slow-
+query log and the Prometheus exposition round trip in isolation, then
+the integration contracts the observability PR promises: ``stats()``
+reads the same cells ``/metrics`` exposes (stage sums identical, not
+merely close), a query driven through the scheduler leaves a full span
+tree in the slow log, scheduler rejections increment the new rejection
+counters, and a stats snapshot stays internally consistent under
+concurrent epoch swaps.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.system import AnswerOutcome, MaterializedViewSystem
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    ExpositionError,
+    Histogram,
+    ManualClock,
+    MetricsRegistry,
+    NULL_TRACE,
+    SlowQueryLog,
+    SlowQueryRecord,
+    Telemetry,
+    Tracer,
+    current_trace,
+    parse_exposition,
+    render_prometheus,
+)
+from repro.service import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    QueryScheduler,
+    SnapshotEngine,
+    error_payload,
+)
+from repro.workload.xmark import generate_xmark
+from repro.xmltree.builder import encode_tree
+
+
+# ----------------------------------------------------------------------
+# registry primitives
+# ----------------------------------------------------------------------
+def test_counter_inc_value_and_labels():
+    counter = Counter("repro_things_total", "things", ("kind",))
+    counter.inc(1.0, "a")
+    counter.inc(2.5, "a")
+    counter.inc(1.0, "b")
+    assert counter.value("a") == pytest.approx(3.5)
+    assert counter.value("b") == pytest.approx(1.0)
+    assert counter.value("never") == 0.0
+    with pytest.raises(ValueError):
+        counter.inc(-1.0, "a")
+    with pytest.raises(ValueError):
+        counter.inc(1.0)  # label arity mismatch
+
+
+def test_registry_get_or_create_is_idempotent_and_typed():
+    registry = MetricsRegistry()
+    first = registry.counter("repro_x_total", "x", ("k",))
+    again = registry.counter("repro_x_total", "x", ("k",))
+    assert first is again
+    with pytest.raises(ValueError):
+        registry.histogram("repro_x_total", "now a histogram")
+    with pytest.raises(ValueError):
+        registry.counter("repro_x_total", "x", ("other",))
+
+
+def test_gauge_callback_and_set_are_exclusive():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("repro_depth", "depth", fn=lambda: 4.0)
+    assert gauge.value() == 4.0
+    with pytest.raises(ValueError):
+        gauge.set(2.0)
+    plain = registry.gauge("repro_level", "level")
+    plain.set(7.5)
+    assert plain.value() == pytest.approx(7.5)
+
+
+def test_histogram_buckets_sum_and_percentiles():
+    histogram = Histogram(
+        "repro_lat_seconds", "latency", buckets=(0.01, 0.1, 1.0)
+    )
+    for value in (0.005, 0.05, 0.05, 0.5, 2.0):
+        histogram.observe(value)
+    view = histogram.view()
+    assert view.count == 5
+    assert view.sum == pytest.approx(2.605)
+    assert view.counts == (1, 2, 1, 1)  # 3 bounds + overflow
+    assert view.percentile(0.5) <= 0.1
+    assert view.percentile(1.0) == 1.0  # overflow reports last bound
+    assert histogram.sums() == {(): pytest.approx(2.605)}
+
+
+def test_histogram_exact_sums_per_label_set():
+    histogram = Histogram("repro_stage_seconds", "stages", ("stage",))
+    histogram.observe(0.25, "parse")
+    histogram.observe(0.5, "parse")
+    histogram.observe(1.25, "join")
+    assert histogram.sums() == {
+        ("parse",): pytest.approx(0.75),
+        ("join",): pytest.approx(1.25),
+    }
+
+
+# ----------------------------------------------------------------------
+# clock / tracer / slow log
+# ----------------------------------------------------------------------
+def test_manual_clock_advances_deterministically():
+    clock = ManualClock(start=10.0, wall_start=1000.0)
+    began = clock.monotonic()
+    clock.advance(2.5)
+    assert clock.monotonic() - began == pytest.approx(2.5)
+    assert clock.wall() == pytest.approx(1002.5)
+
+
+def test_trace_spans_nest_and_tree_rebuilds():
+    clock = ManualClock()
+    tracer = Tracer(clock, sample_every=1)
+    trace = tracer.trace()
+    with trace.span("serve") as root:
+        clock.advance(0.1)
+        with trace.span("answer", strategy="HV"):
+            clock.advance(0.2)
+            with trace.span("parse"):
+                clock.advance(0.05)
+        root.attributes["done"] = True
+    tree = trace.span_tree()
+    assert [entry["name"] for entry in tree] == ["serve"]
+    serve = tree[0]
+    assert serve["duration_seconds"] == pytest.approx(0.35)
+    assert serve["attributes"]["done"] is True
+    (answer,) = serve["children"]
+    assert answer["name"] == "answer"
+    assert answer["attributes"]["strategy"] == "HV"
+    assert [child["name"] for child in answer["children"]] == ["parse"]
+
+
+def test_tracer_samples_one_in_n():
+    tracer = Tracer(ManualClock(), sample_every=3)
+    sampled = [tracer.trace().sampled for _ in range(6)]
+    assert sampled == [True, False, False, True, False, False]
+    # Ids are still unique for unsampled traces.
+    ids = {tracer.trace().trace_id for _ in range(5)}
+    assert len(ids) == 5
+
+
+def test_unsampled_and_null_traces_are_noops():
+    tracer = Tracer(ManualClock(), sample_every=0)
+    trace = tracer.trace()
+    with trace.span("anything") as span:
+        span.attributes["ok"] = 1  # must not blow up
+    assert trace.spans == []
+    assert current_trace() is NULL_TRACE
+    with NULL_TRACE.span("outside"):
+        pass
+    assert NULL_TRACE.spans == []
+
+
+def test_trace_activation_scopes_current_trace():
+    tracer = Tracer(ManualClock(), sample_every=1)
+    trace = tracer.trace()
+    with trace.activate():
+        assert current_trace() is trace
+        with current_trace().span("inner"):
+            pass
+    assert current_trace() is NULL_TRACE
+    assert [span.name for span in trace.spans] == ["inner"]
+
+
+def _record(trace_id: str, seconds: float) -> SlowQueryRecord:
+    return SlowQueryRecord(
+        trace_id=trace_id,
+        query="//a",
+        strategy="HV",
+        status="ok",
+        total_seconds=seconds,
+        wall_time=0.0,
+        epoch=1,
+        plan_cache_hit=False,
+        view_ids=("v1",),
+    )
+
+
+def test_slowlog_keeps_the_slowest():
+    log = SlowQueryLog(capacity=2)
+    assert log.record(_record("a", 0.10))
+    assert log.record(_record("b", 0.30))
+    assert log.record(_record("c", 0.20))  # evicts a (fastest)
+    assert not log.record(_record("d", 0.05))  # slower residents win
+    entries = log.entries()
+    assert [entry.trace_id for entry in entries] == ["b", "c"]
+    assert log.stats() == {"capacity": 2, "resident": 2, "recorded": 4}
+    assert entries[0].as_dict()["view_ids"] == ["v1"]
+
+
+# ----------------------------------------------------------------------
+# exposition round trip
+# ----------------------------------------------------------------------
+def test_render_parse_roundtrip():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_q_total", "queries", ("strategy",))
+    counter.inc(3.0, "HV")
+    counter.inc(1.0, 'we"ird\\label')
+    histogram = registry.histogram(
+        "repro_q_seconds", "latency", buckets=(0.1, 1.0)
+    )
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    registry.gauge("repro_live", "liveness", fn=lambda: 1.0)
+
+    payload = render_prometheus(registry.collect())
+    families = parse_exposition(payload)
+    totals = families["repro_q_total"]
+    assert totals.kind == "counter"
+    assert totals.value(strategy="HV") == 3.0
+    assert totals.value(strategy='we"ird\\label') == 1.0
+    latency = families["repro_q_seconds"]
+    assert latency.kind == "histogram"
+    assert latency.value(name="repro_q_seconds_count") == 2.0
+    assert latency.value(name="repro_q_seconds_sum") == pytest.approx(0.55)
+    assert latency.value(name="repro_q_seconds_bucket", le="0.1") == 1.0
+    assert latency.value(name="repro_q_seconds_bucket", le="+Inf") == 2.0
+    assert families["repro_live"].value() == 1.0
+
+
+@pytest.mark.parametrize("payload", [
+    "repro_x 1\n",  # sample before HELP/TYPE
+    "# HELP repro_x x\n# TYPE repro_x counter\nrepro_x 1",  # no newline
+    ("# HELP repro_x x\n# TYPE repro_x counter\n"
+     "repro_x 1\nrepro_x 2\n"),  # duplicate sample
+    ("# HELP repro_h h\n# TYPE repro_h histogram\n"
+     'repro_h_bucket{le="0.1"} 5\nrepro_h_bucket{le="+Inf"} 3\n'
+     "repro_h_sum 1\nrepro_h_count 3\n"),  # non-monotone buckets
+])
+def test_parse_exposition_rejects_malformed(payload):
+    with pytest.raises(ExpositionError):
+        parse_exposition(payload)
+
+
+def test_telemetry_create_reads_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_SAMPLE", "5")
+    monkeypatch.setenv("REPRO_SLOWLOG_CAPACITY", "3")
+    telemetry = Telemetry.create()
+    assert telemetry.tracer.sample_every == 5
+    assert telemetry.slowlog.capacity == 3
+    monkeypatch.setenv("REPRO_TRACE_SAMPLE", "junk")
+    assert Telemetry.create().tracer.sample_every == 1
+
+
+# ----------------------------------------------------------------------
+# system integration: stats() on the registry, spans in the pipeline
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_system():
+    system = MaterializedViewSystem(
+        encode_tree(generate_xmark(scale=0.05, seed=11))
+    )
+    system.register_views({
+        "name": "//item/name",
+        "person": "//person/name",
+    })
+    return system
+
+
+def test_stats_stage_seconds_equal_histogram_sums(small_system):
+    small_system.answer("//item/name")
+    small_system.answer("//item/name")  # warm hit
+    stats = small_system.stats()
+    payload = render_prometheus(small_system.telemetry.registry.collect())
+    stage_family = parse_exposition(payload)["repro_stage_seconds"]
+    for stage, seconds in stats["stage_seconds"].items():
+        exposed = stage_family.value(
+            name="repro_stage_seconds_sum", stage=stage
+        )
+        # Same cells read twice: equality is exact, not approximate.
+        assert (exposed or 0.0) == seconds
+    assert stats["answers"] >= 2
+    assert stats["warm_hits"] >= 1
+
+
+def test_metrics_exposition_covers_the_catalog(small_system):
+    small_system.answer("//person/name")
+    families = parse_exposition(
+        render_prometheus(small_system.telemetry.registry.collect())
+    )
+    for name in (
+        "repro_stage_seconds",
+        "repro_answer_seconds",
+        "repro_answers_total",
+        "repro_views_registered_total",
+        "repro_epoch_swaps_total",
+        "repro_epoch_seq",
+        "repro_views_materialized",
+        "repro_plan_cache_hits",
+        "repro_plan_cache_misses",
+    ):
+        assert name in families, f"{name} missing from /metrics"
+    assert families["repro_epoch_swaps_total"].value() >= 2.0
+    assert families["repro_views_materialized"].value() == 2.0
+
+
+def test_answer_records_span_tree_when_traced(small_system):
+    trace = small_system.telemetry.tracer.trace()
+    with trace.activate():
+        small_system.answer("//item/name", "MV")
+    names = {span.name for span in trace.spans}
+    assert {"answer", "parse", "selection", "rewrite"} <= names
+    (root,) = [
+        span for span in trace.span_tree() if span["name"] == "answer"
+    ]
+    assert root["attributes"]["strategy"] == "MV"
+    children = {child["name"] for child in root["children"]}
+    assert "parse" in children
+
+
+def test_stats_snapshot_consistent_under_concurrent_swaps():
+    system = MaterializedViewSystem(
+        encode_tree(generate_xmark(scale=0.05, seed=13))
+    )
+    system.register_view("name", "//item/name")
+    stop = threading.Event()
+    failures: list[str] = []
+
+    patterns = ("//item/description", "//person/name", "//item/payment")
+
+    def register_views() -> None:
+        index = 0
+        while not stop.is_set():
+            system.register_view(
+                f"extra{index}", patterns[index % len(patterns)]
+            )
+            index += 1
+
+    def snapshot_stats() -> None:
+        last_epoch = 0
+        last_lookups = 0
+        while not stop.is_set():
+            system.answer("//item/name")
+            stats = system.stats()
+            plan = stats["plan_cache"]
+            lookups = plan["hits"] + plan["misses"]
+            if stats["epoch"] < last_epoch:
+                failures.append("epoch went backwards")
+            if lookups < last_lookups:
+                failures.append(
+                    "cumulative plan-cache counters went backwards "
+                    "across an epoch swap"
+                )
+            if plan["entries"] > plan["maxsize"]:
+                failures.append("entries exceed maxsize")
+            last_epoch = stats["epoch"]
+            last_lookups = lookups
+    threads = [
+        threading.Thread(target=register_views),
+        threading.Thread(target=snapshot_stats),
+        threading.Thread(target=snapshot_stats),
+    ]
+    for thread in threads:
+        thread.start()
+    import time as _time
+    _time.sleep(0.8)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    assert failures == []
+
+
+# ----------------------------------------------------------------------
+# scheduler rejection counters + slow log through the service layer
+# ----------------------------------------------------------------------
+class _StallEngine:
+    """Parks every answer on a latch (no ``system`` attribute: the
+    scheduler must fall back to building its own telemetry)."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def answer(self, pattern, strategy="HV"):
+        self.entered.set()
+        assert self.release.wait(timeout=10.0)
+        return AnswerOutcome(codes=[], strategy=strategy, epoch_seq=1)
+
+
+def test_queue_full_rejection_increments_counter_and_retry_after():
+    engine = _StallEngine()
+    scheduler = QueryScheduler(
+        engine, workers=1, queue_limit=1, coalesce=False
+    )
+    try:
+        def occupy() -> None:
+            try:
+                scheduler.submit("//a/b", timeout=10.0)
+            except (AdmissionRejectedError, DeadlineExceededError):
+                pass
+
+        threads = [threading.Thread(target=occupy) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        assert engine.entered.wait(timeout=5.0)
+        # Worker busy + queue slot taken: the next admission must bounce.
+        deadline = None
+        for _ in range(50):
+            try:
+                scheduler.submit("//c/d", timeout=0.05)
+            except AdmissionRejectedError as error:
+                deadline = error
+                break
+            except DeadlineExceededError:
+                continue
+        assert deadline is not None, "queue never filled"
+        assert deadline.retry_after > 0.0
+        rejected = scheduler.telemetry.registry.counter(
+            "repro_requests_rejected_total", "", ("reason",)
+        )
+        assert rejected.value("queue_full") >= 1.0
+        status, body, headers = error_payload(deadline)
+        assert status == 503
+        assert float(headers["Retry-After"]) > 0.0
+        assert body["retry_after"] == pytest.approx(deadline.retry_after)
+    finally:
+        engine.release.set()
+        scheduler.close()
+
+
+def test_deadline_rejection_increments_counter_and_retry_after():
+    engine = _StallEngine()
+    scheduler = QueryScheduler(engine, workers=1, queue_limit=4)
+    try:
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            scheduler.submit("//a/b", timeout=0.05)
+        error = excinfo.value
+        assert error.retry_after > 0.0
+        rejected = scheduler.telemetry.registry.counter(
+            "repro_requests_rejected_total", "", ("reason",)
+        )
+        assert rejected.value("deadline") >= 1.0
+        status, body, headers = error_payload(error)
+        assert status == 504
+        assert float(headers["Retry-After"]) > 0.0
+        assert body["retry_after"] == pytest.approx(error.retry_after)
+    finally:
+        engine.release.set()
+        scheduler.close()
+
+
+def test_slow_query_log_reproduces_the_span_tree(small_system):
+    engine = SnapshotEngine(small_system)
+    scheduler = QueryScheduler(engine, workers=2)
+    slowlog = small_system.telemetry.slowlog
+    slowlog.clear()
+    try:
+        scheduler.submit("//item/name")
+        scheduler.submit("//person/name", "MV")
+    finally:
+        scheduler.close()
+    entries = slowlog.entries()
+    assert len(entries) == 2
+    record = entries[0]  # slowest first
+    assert record.trace_id.startswith("query-")
+    assert record.total_seconds > 0.0
+    assert record.stage_seconds  # per-stage timings captured
+    (serve,) = record.spans
+    assert serve["name"] == "serve"
+    child_names = [child["name"] for child in serve["children"]]
+    assert "engine_gate" in child_names
+    assert "answer" in child_names
+    answer = next(
+        child for child in serve["children"] if child["name"] == "answer"
+    )
+    grandchildren = {child["name"] for child in answer["children"]}
+    assert "parse" in grandchildren

@@ -247,11 +247,31 @@ L4_BAD = """
         return time.time() + random.random()
 """
 
-L4_OK = """
+L4_MONOTONIC = """
     import time
 
     def measure():
         return time.perf_counter()
+
+    def deadline():
+        return time.monotonic() + 1.0
+"""
+
+L4_FROM_IMPORT = """
+    from time import monotonic, perf_counter
+
+    def measure():
+        return perf_counter() - monotonic()
+"""
+
+L4_OK_CLOCK = """
+    class Pipeline:
+        def __init__(self, telemetry):
+            self._clock = telemetry.clock
+
+        def measure(self):
+            started = self._clock.monotonic()
+            return self._clock.monotonic() - started
 """
 
 
@@ -263,8 +283,28 @@ def test_l4_fires_in_core(tmp_path):
     assert len(violations) >= 2
 
 
-def test_l4_allows_perf_counter(tmp_path):
-    assert _lint_snippet(tmp_path, "core/ok.py", L4_OK, ["L4"]) == []
+def test_l4_bans_monotonic_timers_in_core(tmp_path):
+    # Since the telemetry subsystem, the injected obs.Clock is the only
+    # sanctioned time source in core/ — the previously tolerated
+    # time.perf_counter()/time.monotonic() now fire.
+    violations = _lint_snippet(
+        tmp_path, "core/timers.py", L4_MONOTONIC, ["L4"]
+    )
+    assert _rules_hit(violations) == {"L4"}
+    assert len(violations) == 2
+
+
+def test_l4_bans_timer_from_imports_in_core(tmp_path):
+    violations = _lint_snippet(
+        tmp_path, "core/fromimp.py", L4_FROM_IMPORT, ["L4"]
+    )
+    assert _rules_hit(violations) == {"L4"}
+
+
+def test_l4_allows_injected_clock(tmp_path):
+    assert _lint_snippet(
+        tmp_path, "core/ok.py", L4_OK_CLOCK, ["L4"]
+    ) == []
 
 
 def test_l4_ignores_bench_and_noncore(tmp_path):

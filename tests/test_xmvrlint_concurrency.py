@@ -600,7 +600,7 @@ def test_l14_accepts_condition_wait_on_held_condition(tmp_path):
 SYSTEM_MUTANTS = {
     "L10": """\
     def _mutant(self):
-        return self._warm_hits
+        return self._plan_stats_base
 """,
     "L11": """\
     def _mutant(self):
