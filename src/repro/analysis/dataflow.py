@@ -52,6 +52,7 @@ __all__ = [
     "LockRec",
     "GuardRec",
     "ClassRec",
+    "StateRec",
     "FunctionSummary",
     "ImportRec",
     "FileSummary",
@@ -292,6 +293,42 @@ class ClassRec:
 
 
 @dataclass(frozen=True, slots=True)
+class StateRec:
+    """One ``#: state:`` ownership annotation (rules L15-L19).
+
+    ``kind`` is one of:
+
+    * ``hard`` — primary state: config, injected collaborators, the
+      base document.  Never derived from anything; mutated only inside
+      designated mutator entry points (L18).
+    * ``soft`` — derived state, rebuildable from its ``derived-from``
+      sources via the named ``rebuild`` function.  Every write
+      reaching a source must patch or invalidate it (L15).
+    * ``counter`` — observational tallies / transient coordination
+      flags; annotated for L19 completeness but outside the DAG.
+    * ``mutator`` — a *function* annotation (the comment sits on a
+      ``def`` line): this function is a sanctioned hard-state write
+      scope, the surface WAL logging will later hook.  ``attr`` then
+      holds the function name; ``classname`` is ``""`` for
+      module-level functions.
+
+    ``derived_from`` holds the raw source spellings: a bare field name
+    (same class), ``Class.attr`` for a cross-class source, and a
+    trailing ``?`` marks a *weak* edge — the dependency is documented
+    (and drawn in ``--graph``) but exempt from L15's every-exit-path
+    obligation, for selectively patched state like per-view memo
+    eviction.
+    """
+
+    classname: str
+    attr: str
+    kind: str  # "hard" | "soft" | "counter" | "mutator"
+    derived_from: tuple[str, ...] = ()
+    rebuild: str = ""
+    lineno: int = 0
+
+
+@dataclass(frozen=True, slots=True)
 class FileSummary:
     """Per-file facts consumed by the project-level passes."""
 
@@ -303,6 +340,7 @@ class FileSummary:
     locks: tuple[LockRec, ...] = ()
     guards: tuple[GuardRec, ...] = ()
     classes: tuple[ClassRec, ...] = ()
+    states: tuple[StateRec, ...] = ()
 
 
 # ======================================================================
@@ -814,7 +852,35 @@ _GUARDED_BY_RE = re.compile(
     r"#:\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)\s*(?:\(([^)]*)\))?"
 )
 _LOCK_FLAG_RE = re.compile(r"#:\s*lock:\s*blocking-allowed\b")
+#: ``#: state: hard`` / ``#: state: counter`` /
+#: ``#: state: soft(derived-from=a, Class.b?; rebuild=fn)`` /
+#: ``#: state: mutator`` (the latter on a ``def`` line).
+_STATE_RE = re.compile(
+    r"#:\s*state:\s*(hard|soft|counter|mutator)\s*(?:\(([^)]*)\))?"
+)
+#: Restricted probe used near ``def`` lines so a mutator annotation is
+#: never stolen by a field-assignment site a few lines below it.
+_STATE_MUTATOR_RE = re.compile(r"#:\s*state:\s*mutator\b")
 _LOCK_CTORS = {"Lock", "RLock", "Condition"}
+
+
+def _parse_state_options(raw: str) -> tuple[tuple[str, ...], str]:
+    """``derived-from=a, b?; rebuild=fn`` → (sources, rebuild name)."""
+    derived: tuple[str, ...] = ()
+    rebuild = ""
+    for part in raw.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        key = key.strip()
+        if key == "derived-from":
+            derived = tuple(
+                item.strip() for item in value.split(",") if item.strip()
+            )
+        elif key == "rebuild":
+            rebuild = value.strip()
+    return derived, rebuild
 
 
 def _comment_lines(source: str) -> dict[int, str]:
@@ -844,14 +910,21 @@ def _lock_kind(value: ast.expr | None) -> str | None:
 
 def _concurrency_records(
     tree: ast.Module, source: str | None
-) -> tuple[tuple[LockRec, ...], tuple[GuardRec, ...], tuple[ClassRec, ...]]:
-    """Extract lock declarations, guarded-by annotations and class
-    records from one module.
+) -> tuple[
+    tuple[LockRec, ...],
+    tuple[GuardRec, ...],
+    tuple[ClassRec, ...],
+    tuple[StateRec, ...],
+]:
+    """Extract lock declarations, guarded-by / state annotations and
+    class records from one module.
 
     An annotation comment binds to the first ``self.X = ...``
-    assignment on the same line or within the three following lines;
-    each comment binds at most once, so runs of consecutively
-    annotated fields resolve pairwise.
+    assignment (or, for ``state: mutator``, the first ``def`` line) on
+    the same line or within the three following lines; each comment
+    binds at most once, so runs of consecutively annotated fields
+    resolve pairwise.  A field may stack one ``guarded-by`` and one
+    ``state`` comment — the regexes consume independently.
     """
     comments = _comment_lines(source) if source else {}
     consumed: set[int] = set()
@@ -874,6 +947,33 @@ def _concurrency_records(
     locks: list[LockRec] = []
     guards: dict[tuple[str, str], GuardRec] = {}
     classes: list[ClassRec] = []
+    states: dict[tuple[str, str], StateRec] = {}
+
+    # Mutator annotations bind to ``def`` lines and are scanned first,
+    # so a field site in the method's opening lines can never steal
+    # the comment.
+    def probe_mutator(
+        member: ast.FunctionDef | ast.AsyncFunctionDef, classname: str
+    ) -> None:
+        if annotation_at(member.lineno, _STATE_MUTATOR_RE) is None:
+            return
+        key = (classname, member.name)
+        if key not in states:
+            states[key] = StateRec(
+                classname=classname,
+                attr=member.name,
+                kind="mutator",
+                lineno=member.lineno,
+            )
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            probe_mutator(node, "")
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    probe_mutator(member, node.name)
+
     for node in tree.body:
         if not isinstance(node, ast.ClassDef):
             continue
@@ -935,6 +1035,19 @@ def _concurrency_records(
                         )
                     )
                 continue
+            state_match = annotation_at(lineno, _STATE_RE)
+            if state_match is not None and (node.name, attr) not in states:
+                derived, rebuild = _parse_state_options(
+                    state_match.group(2) or ""
+                )
+                states[(node.name, attr)] = StateRec(
+                    classname=node.name,
+                    attr=attr,
+                    kind=state_match.group(1),
+                    derived_from=derived,
+                    rebuild=rebuild,
+                    lineno=lineno,
+                )
             match = annotation_at(lineno, _GUARDED_BY_RE)
             if match is None or (node.name, attr) in guards:
                 continue
@@ -954,7 +1067,12 @@ def _concurrency_records(
                 pin_once=pin_once,
                 lineno=lineno,
             )
-    return tuple(locks), tuple(guards.values()), tuple(classes)
+    return (
+        tuple(locks),
+        tuple(guards.values()),
+        tuple(classes),
+        tuple(states.values()),
+    )
 
 
 def summarize_module(
@@ -996,7 +1114,7 @@ def summarize_module(
                             member, f"{node.name}.", node.name
                         )
                     )
-    locks, guards, classes = _concurrency_records(tree, source)
+    locks, guards, classes, states = _concurrency_records(tree, source)
     return FileSummary(
         relpath=relpath,
         module=module,
@@ -1006,6 +1124,7 @@ def summarize_module(
         locks=locks,
         guards=guards,
         classes=classes,
+        states=states,
     )
 
 

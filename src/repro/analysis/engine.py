@@ -15,9 +15,10 @@ A comment anywhere on a flagged line (for function-level rules: the
 ``disable=all`` disables every rule for the line, and
 ``disable-file=L4`` (on any line) disables a rule for the whole file.
 Text after the rule list is free-form justification.  For the
-concurrency rules (L10–L14) the justification is *mandatory*: a line
-pragma without ``-- <reason>`` does not suppress them — the engine
-enforces "zero unjustified suppressions" rather than trusting review.
+concurrency rules (L10–L14) and the derived-state rules (L15–L19) the
+justification is *mandatory*: a line pragma without ``-- <reason>``
+does not suppress them — the engine enforces "zero unjustified
+suppressions" rather than trusting review.
 
 Exit codes
 ----------
@@ -44,12 +45,15 @@ from .effects import ProgramFacts, analyze
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .concurrency import ConcurrencyFacts
+    from .statedeps import StateFacts
 
 __all__ = [
     "EXIT_CLEAN",
     "EXIT_VIOLATIONS",
     "EXIT_ERROR",
     "CONCURRENCY_RULES",
+    "STATE_RULES",
+    "JUSTIFIED_RULES",
     "Violation",
     "FileContext",
     "Rule",
@@ -58,6 +62,7 @@ __all__ = [
     "LintError",
     "register",
     "all_rules",
+    "build_project_context",
     "lint_paths",
     "render_human",
     "render_json",
@@ -66,6 +71,7 @@ __all__ = [
     "write_baseline",
     "apply_baseline",
     "baseline_counts",
+    "unused_baseline_entries",
     "apply_return_none_fixes",
 ]
 
@@ -75,7 +81,7 @@ EXIT_ERROR = 2
 
 #: Bump when the cached record layout or any analysis changes shape —
 #: stale cache entries are then simply misses.
-LINT_CACHE_VERSION = 2
+LINT_CACHE_VERSION = 3
 
 #: Fix tag understood by :func:`apply_return_none_fixes`.
 FIX_RETURN_NONE = "add-return-none"
@@ -84,6 +90,13 @@ FIX_RETURN_NONE = "add-return-none"
 #: take effect (the concurrency rules: a race hidden by a bare pragma
 #: is still a race).
 CONCURRENCY_RULES = frozenset({"L10", "L11", "L12", "L13", "L14"})
+
+#: The derived-state ownership rules: same mandatory-justification
+#: policy (a stale cache hidden by a bare pragma is still stale).
+STATE_RULES = frozenset({"L15", "L16", "L17", "L18", "L19"})
+
+#: Every rule whose suppression demands a ``-- reason``.
+JUSTIFIED_RULES = CONCURRENCY_RULES | STATE_RULES
 
 
 @dataclass(frozen=True, slots=True)
@@ -181,7 +194,7 @@ class FileContext:
     def suppressed(self, line: int, rule_id: str) -> bool:
         if "*" in self.file_suppressions or rule_id in self.file_suppressions:
             return True
-        if rule_id in CONCURRENCY_RULES and line not in self.justified_lines:
+        if rule_id in JUSTIFIED_RULES and line not in self.justified_lines:
             return False
         active = self.line_suppressions.get(line, ())
         return "*" in active or rule_id in active
@@ -257,6 +270,7 @@ class ProjectContext:
     relpath_by_module: dict[str, str] = field(default_factory=dict)
     _facts: ProgramFacts | None = None
     _concurrency: object | None = None
+    _statedeps: object | None = None
 
     @property
     def facts(self) -> ProgramFacts:
@@ -273,6 +287,16 @@ class ProjectContext:
 
             self._concurrency = analyze_concurrency(self.project)
         return self._concurrency  # type: ignore[return-value]
+
+    @property
+    def statedeps(self) -> "StateFacts":
+        """Derivation-DAG facts (rules L15-L19), computed lazily and at
+        most once per run."""
+        if self._statedeps is None:
+            from .statedeps import analyze_statedeps
+
+            self._statedeps = analyze_statedeps(self.project)
+        return self._statedeps  # type: ignore[return-value]
 
     def location_of(self, fqname: str) -> tuple[str, int]:
         """(relpath, lineno) of a function's definition."""
@@ -496,12 +520,36 @@ def _file_facts(
 def _suppressed(facts: _FileFacts, line: int, rule_id: str) -> bool:
     if "*" in facts.file_suppressions or rule_id in facts.file_suppressions:
         return True
-    if rule_id in CONCURRENCY_RULES and line not in facts.justified_lines:
-        # Concurrency suppressions must carry a justification; a bare
-        # pragma leaves the violation standing.
+    if rule_id in JUSTIFIED_RULES and line not in facts.justified_lines:
+        # Concurrency/derived-state suppressions must carry a
+        # justification; a bare pragma leaves the violation standing.
         return False
     active = facts.line_suppressions.get(line, ())
     return "*" in active or rule_id in active
+
+
+def build_project_context(
+    paths: Sequence[str | Path],
+    root: Path | None = None,
+    cache_dir: Path | None = None,
+) -> ProjectContext:
+    """Assemble the whole-program :class:`ProjectContext` for ``paths``
+    without running any rules — the entry point ``xmvrlint --graph``
+    uses to export the derivation DAG and lock graph."""
+    if root is None:
+        root = Path.cwd()
+    records: dict[str, _FileFacts] = {}
+    for path in iter_python_files(paths):
+        facts = _file_facts(path, root, cache_dir)
+        records[facts.relpath] = facts
+    summaries = {relpath: facts.summary for relpath, facts in records.items()}
+    return ProjectContext(
+        project=build_project(summaries),
+        relpath_by_module={
+            facts.summary.module: relpath
+            for relpath, facts in records.items()
+        },
+    )
 
 
 def lint_paths(
@@ -616,6 +664,21 @@ def apply_baseline(
         else:
             surviving.append(violation)
     return surviving
+
+
+def unused_baseline_entries(
+    violations: Sequence[Violation], baseline: dict[str, int]
+) -> dict[str, int]:
+    """``path::rule`` keys whose baseline budget was not fully consumed
+    by ``violations`` — stale entries the ratchet says must be pruned
+    (the fix landed; tolerating the slot would let a regression hide)."""
+    fired = baseline_counts(violations)
+    stale: dict[str, int] = {}
+    for key, budget in sorted(baseline.items()):
+        leftover = budget - fired.get(key, 0)
+        if leftover > 0:
+            stale[key] = leftover
+    return stale
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,7 @@ and honor the same exit-code contract (0 clean / 1 violations /
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -19,18 +20,28 @@ from .engine import (
     EXIT_ERROR,
     EXIT_VIOLATIONS,
     LintError,
+    ProjectContext,
     all_rules,
     apply_baseline,
     apply_return_none_fixes,
+    build_project_context,
     lint_paths,
     load_baseline,
     render_human,
     render_json,
     render_sarif,
+    unused_baseline_entries,
     write_baseline,
 )
 
-__all__ = ["add_lint_arguments", "run_lint", "explain_rule", "main"]
+__all__ = [
+    "add_lint_arguments",
+    "run_lint",
+    "explain_rule",
+    "graph_payload",
+    "render_graph_dot",
+    "main",
+]
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -76,6 +87,20 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         type=Path,
         help="tolerate the violations recorded in this baseline file "
         "(mypy-style ratchet; regenerate with --write-baseline)",
+    )
+    parser.add_argument(
+        "--baseline-strict",
+        action="store_true",
+        help="with --baseline: fail (exit 2) when the baseline holds "
+        "entries that no longer fire, so stale slots cannot hide "
+        "future regressions",
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("dot", "json"),
+        help="instead of linting, emit the `#: state:` derivation DAG "
+        "and the L11 lock-acquisition graph for the given paths in "
+        "DOT or JSON and exit",
     )
     parser.add_argument(
         "--write-baseline",
@@ -132,6 +157,74 @@ def explain_rule(rule_id: str) -> str:
     return f"{wanted}: {by_id[wanted].summary}"
 
 
+def graph_payload(pctx: ProjectContext) -> dict[str, object]:
+    """The ``--graph`` document: the ``#: state:`` derivation DAG plus
+    the L11 lock-acquisition graph, as one JSON-serializable dict."""
+    derivation = pctx.statedeps.derivation_graph()
+    concurrency = pctx.concurrency
+    lock_nodes = [
+        {"id": f"{token[0]}.{token[1]}", "kind": rec.kind}
+        for token, rec in sorted(concurrency.locks.items())
+    ]
+    lock_edges = [
+        {
+            "source": f"{source[0]}.{source[1]}",
+            "target": f"{target[0]}.{target[1]}",
+        }
+        for source, target in sorted(concurrency.edges)
+    ]
+    return {
+        "derivation": derivation,
+        "locks": {"nodes": lock_nodes, "edges": lock_edges},
+    }
+
+
+def render_graph_dot(payload: dict[str, object]) -> str:
+    """Render a :func:`graph_payload` document as one DOT digraph with
+    a cluster per graph.  Weak derivation edges are dashed; soft state
+    is drawn as ellipses, hard state as boxes, counters as plaintext."""
+    shapes = {"hard": "box", "soft": "ellipse", "counter": "plaintext"}
+    lines = [
+        "digraph xmvr_state {",
+        "  rankdir=LR;",
+        "  node [fontsize=10];",
+        "  subgraph cluster_derivation {",
+        '    label="derivation DAG (#: state:)";',
+    ]
+    derivation = payload["derivation"]
+    assert isinstance(derivation, dict)
+    for node in derivation["nodes"]:
+        shape = shapes.get(str(node["kind"]), "ellipse")
+        lines.append(f'    "{node["id"]}" [shape={shape}];')
+    for edge in derivation["edges"]:
+        style = " [style=dashed]" if edge["weak"] else ""
+        lines.append(f'    "{edge["source"]}" -> "{edge["target"]}"{style};')
+    lines.append("  }")
+    locks = payload["locks"]
+    assert isinstance(locks, dict)
+    lines.append("  subgraph cluster_locks {")
+    lines.append('    label="lock acquisition order (L11)";')
+    for node in locks["nodes"]:
+        lines.append(f'    "{node["id"]}" [shape=diamond];')
+    for edge in locks["edges"]:
+        lines.append(f'    "{edge["source"]}" -> "{edge["target"]}";')
+    lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _run_graph(arguments: argparse.Namespace) -> int:
+    pctx = build_project_context(
+        arguments.paths, cache_dir=_cache_dir(arguments)
+    )
+    payload = graph_payload(pctx)
+    if arguments.graph == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_graph_dot(payload), end="")
+    return EXIT_CLEAN
+
+
 def _cache_dir(arguments: argparse.Namespace) -> Path | None:
     if arguments.no_cache:
         return None
@@ -146,6 +239,8 @@ def run_lint(arguments: argparse.Namespace) -> int:
         if arguments.explain:
             print(explain_rule(arguments.explain))
             return EXIT_CLEAN
+        if arguments.graph:
+            return _run_graph(arguments)
         select = (
             arguments.select.split(",") if arguments.select else None
         )
@@ -172,9 +267,19 @@ def run_lint(arguments: argparse.Namespace) -> int:
             )
             return EXIT_CLEAN
         if arguments.baseline is not None:
-            violations = apply_baseline(
-                violations, load_baseline(arguments.baseline)
-            )
+            baseline = load_baseline(arguments.baseline)
+            if arguments.baseline_strict:
+                stale = unused_baseline_entries(violations, baseline)
+                if stale:
+                    listing = ", ".join(
+                        f"{key} (x{count})" for key, count in stale.items()
+                    )
+                    raise LintError(
+                        f"{arguments.baseline}: stale baseline entries no "
+                        f"longer fire: {listing}; prune them so the "
+                        "ratchet cannot hide regressions"
+                    )
+            violations = apply_baseline(violations, baseline)
     except LintError as error:
         print(f"xmvrlint: error: {error}", file=sys.stderr)
         return EXIT_ERROR
@@ -191,8 +296,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="xmvrlint",
         description="Project-invariant static analysis for the XMVR "
-                    "reproduction (rules L1-L14; see DESIGN.md §10 "
-                    "and §13)",
+                    "reproduction (rules L1-L19; see DESIGN.md §10, "
+                    "§13 and §15)",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

@@ -1,4 +1,4 @@
-"""The xmvrlint rule set (L1–L14).
+"""The xmvrlint rule set (L1–L19).
 
 Each rule encodes one repo-specific invariant that PR 1's caching layer
 turned load-bearing; DESIGN.md §10 ties every rule to the mechanism it
@@ -22,6 +22,19 @@ discipline, L13 the deep immutability of published snapshots, and L14
 forbids blocking calls under a core lock.  Line suppressions of these
 five require a ``--`` justification; an unjustified pragma does not
 suppress.
+
+L15–L19 are the *derived-state ownership* rules (DESIGN.md §15), built
+on the derivation DAG of :mod:`repro.analysis.statedeps` declared by
+``#: state: hard | soft(derived-from=...; rebuild=...) | counter``
+annotations: L15 generalizes L1/L6 from the plan cache to every DAG
+edge (a write reaching a derivation source must invalidate or patch
+every strict dependent on every non-raising exit), L16 checks the DAG
+shape (acyclic, hard state never derived, counters never sources), L17
+that every soft field has a reachable rebuild path, L18 that hard
+state is only written under ``#: state: mutator`` entry points or
+lifecycle methods, and L19 that stateful classes annotate every
+mutable attribute.  The same mandatory-justification suppression
+policy applies.
 """
 
 from __future__ import annotations
@@ -57,6 +70,11 @@ __all__ = [
     "EpochPinningRule",
     "SnapshotImmutabilityRule",
     "BlockingUnderLockRule",
+    "InvalidationCompletenessRule",
+    "DerivationShapeRule",
+    "RebuildPathRule",
+    "HardWriteScopeRule",
+    "StateCoverageRule",
 ]
 
 
@@ -1105,3 +1123,157 @@ class BlockingUnderLockRule(_ConcurrencyRule):
 
     def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
         return pctx.concurrency.blocking_violations(pctx.facts.effects)
+
+
+# ======================================================================
+# L15–L19 — derived-state ownership rules (derivation DAG, DESIGN.md §15)
+# ======================================================================
+class _StateRule(ProjectRule):
+    """Shared shape of the five derived-state rules: each wraps one
+    finding list of the :class:`StateFacts` computed lazily on the
+    project context."""
+
+    def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
+        raise NotImplementedError
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[Violation]:
+        for relpath, lineno, message in self.findings(pctx):
+            yield Violation(
+                rule=self.rule_id,
+                path=relpath,
+                line=lineno,
+                column=0,
+                message=message,
+            )
+
+
+@register
+class InvalidationCompletenessRule(_StateRule):
+    """L15: rule L1 generalized to the whole derivation DAG — any
+    interprocedural write reaching a ``derived-from`` source must, on
+    every non-raising exit path of every public entry point,
+    invalidate or patch every strict dependent of that source."""
+
+    rule_id = "L15"
+    summary = (
+        "every write reaching a `derived-from` source must invalidate "
+        "or patch all strict dependents on every non-raising exit path"
+    )
+    description = (
+        "Per strict edge of the `#: state:` derivation DAG, an "
+        "abstract interpretation over the whole-program IR tracks "
+        "(patched, dirty) per control path with L1's monotone-patch "
+        "semantics: one invalidation of the dependent anywhere in the "
+        "call covers every source mutation of that call. Writes are "
+        "resolved through aliases (self.system._node_index, a bare "
+        "`document` local, container-mutator calls, document surgery); "
+        "resolved callees contribute summarized facts via a fixpoint. "
+        "Raising exits are exempt (L7 owns exception windows); weak "
+        "`derived-from=field?` edges are exempt (refreshed by epoch "
+        "swap or explicit eviction) but still drawn in --graph."
+    )
+
+    def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
+        return pctx.statedeps.invalidation_violations()
+
+
+@register
+class DerivationShapeRule(_StateRule):
+    """L16: the derivation DAG must actually be a DAG over soft state —
+    acyclic, with hard state and counters never derived, counters
+    never sources, and every declared source resolvable."""
+
+    rule_id = "L16"
+    summary = (
+        "derivation must be acyclic; hard state and counters may not "
+        "declare derived-from; counters may not be sources"
+    )
+    description = (
+        "Hard state is the authoritative copy: deriving it from soft "
+        "state would let a cache rebuild corrupt ground truth, so "
+        "`#: state: hard` with derived-from is rejected outright "
+        "(which also makes soft->hard edges inexpressible). A cycle "
+        "means no rebuild order exists. Counters are telemetry and "
+        "participate in neither direction. Unresolvable derived-from "
+        "spellings are errors, not warnings: a dangling source would "
+        "silently exempt the field from L15."
+    )
+
+    def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
+        return pctx.statedeps.graph_violations()
+
+
+@register
+class RebuildPathRule(_StateRule):
+    """L17: soft state must be rebuildable in practice, not just in
+    principle — every soft field names a rebuild function that exists
+    and is reachable from the public API or a lifecycle method."""
+
+    rule_id = "L17"
+    summary = (
+        "every soft field must name a rebuild function that resolves "
+        "and is reachable from a public or lifecycle entry point"
+    )
+    description = (
+        "`soft(...; rebuild=<fn>)` is the recovery contract: after "
+        "invalidation (or a crash, once the WAL lands) the field must "
+        "be recomputable from its derivation sources. The rule "
+        "resolves the name (same class, unique method, module-level "
+        "function) and checks reachability over the call graph from "
+        "public functions and lifecycle methods. `rebuild=__init__` "
+        "declares rebuild-by-reconstruction (the index classes) and "
+        "is always accepted."
+    )
+
+    def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
+        return pctx.statedeps.rebuild_violations()
+
+
+@register
+class HardWriteScopeRule(_StateRule):
+    """L18: hard state is written only inside lifecycle methods or
+    code reachable from a ``#: state: mutator`` entry point — the
+    registration/maintenance surface WAL logging will later hook."""
+
+    rule_id = "L18"
+    summary = (
+        "hard fields may only be mutated in lifecycle methods or code "
+        "reachable from a `#: state: mutator` entry point"
+    )
+    description = (
+        "Durability needs a single chokepoint: if every hard-state "
+        "write happens under a declared mutator entry point "
+        "(register_view, insert_subtree, KVStore maintenance), WAL "
+        "logging and delta maintenance can attach there and miss "
+        "nothing. The rule collects every function that directly "
+        "mutates a hard token (including through aliases and "
+        "container-mutator calls) and requires it to be a lifecycle "
+        "method or reachable from a mutator over the call graph."
+    )
+
+    def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
+        return pctx.statedeps.scope_violations()
+
+
+@register
+class StateCoverageRule(_StateRule):
+    """L19: a class that declares any state annotation must declare
+    them all — an unannotated mutable attribute on a stateful class is
+    invisible to the DAG and can go stale unchecked."""
+
+    rule_id = "L19"
+    summary = (
+        "classes declaring `#: state:` fields must annotate every "
+        "mutable instance attribute (locks exempt)"
+    )
+    description = (
+        "The DAG is only as complete as its annotations. On any "
+        "non-frozen class with at least one `#: state:` field, every "
+        "plain `self.<attr> = ...` assignment site must belong to an "
+        "annotated state field or a detected lock attribute; anything "
+        "else is flagged so new caches cannot be added without "
+        "declaring their derivation."
+    )
+
+    def findings(self, pctx: ProjectContext) -> list[tuple[str, int, str]]:
+        return pctx.statedeps.coverage_violations()

@@ -257,10 +257,12 @@ class _QueryMemo:
     __slots__ = ("pattern", "units", "compensations")
 
     def __init__(self, pattern: TreePattern) -> None:
-        self.pattern = pattern
+        self.pattern = pattern  #: state: hard
         #: view_id -> coverage_units(view, pattern)
+        #: state: soft(derived-from=pattern; rebuild=units)
         self.units: dict[str, list[CoverageUnit]] = {}
         #: (view_id, id(anchor)) -> (compensating pattern, case-1 skip)
+        #: state: soft(derived-from=pattern; rebuild=record_compensation)
         self.compensations: dict[tuple[str, int], tuple[TreePattern, bool]] = {}
 
 
@@ -302,15 +304,19 @@ class CoverageMemo:
     """
 
     def __init__(self, max_queries: int = 512) -> None:
-        self.max_queries = max_queries
+        self.max_queries = max_queries  #: state: hard
         #: guarded-by: _lock
+        #: state: soft(derived-from=MaterializedViewSystem.document?; rebuild=intern)
         self._queries: "OrderedDict[str, _QueryMemo]" = OrderedDict()
         self._lock = threading.RLock()
         #: guarded-by: _lock (writes)
+        #: state: counter
         self.computed = 0
         #: guarded-by: _lock (writes)
+        #: state: counter
         self.served = 0
         #: guarded-by: _lock (writes)
+        #: state: counter
         self.evicted_views = 0
 
     # ------------------------------------------------------------------

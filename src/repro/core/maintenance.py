@@ -64,14 +64,16 @@ class DocumentEditor:
     """Apply base-document updates and keep materialized views fresh."""
 
     def __init__(self, system: MaterializedViewSystem) -> None:
-        self.system = system
+        self.system = system  #: state: hard
         registry = system.telemetry.registry
-        self._clock = system.telemetry.clock
+        self._clock = system.telemetry.clock  #: state: hard
+        #: state: counter
         self._ops_total = registry.counter(
             "repro_maintenance_total",
             "Document maintenance operations applied.",
             ("op",),
         )
+        #: state: counter
         self._ops_hist = registry.histogram(
             "repro_maintenance_seconds",
             "End-to-end maintenance operation latency (edit + selective "
@@ -82,6 +84,7 @@ class DocumentEditor:
     # ------------------------------------------------------------------
     # public operations
     # ------------------------------------------------------------------
+    #: state: mutator
     def insert_subtree(
         self, parent_code: DeweyCode, subtree: XMLNode
     ) -> MaintenanceReport:
@@ -132,6 +135,7 @@ class DocumentEditor:
         report.full_reencode = not schema_ok
         return report
 
+    #: state: mutator
     def delete_subtree(self, code: DeweyCode) -> MaintenanceReport:
         """Remove the subtree rooted at ``code`` and refresh affected
         views.  The document root cannot be deleted."""

@@ -81,14 +81,16 @@ class PathNFA:
     """Prefix-sharing NFA over normalized view path patterns."""
 
     def __init__(self) -> None:
-        self._states: list[_State] = [_State()]
-        self._loops: dict[int, int] = {}  # source state -> its loop state
-        self._transition_count = 0
+        self._states: list[_State] = [_State()]  #: state: hard
+        #: source state -> its loop state
+        self._loops: dict[int, int] = {}  #: state: hard
+        self._transition_count = 0  #: state: counter
+        #: state: soft(derived-from=_states, _loops; rebuild=compile)
         self._compiled: CompiledNFA | None = None
         #: How many ``read`` calls took the compiled / simulated path —
         #: racy best-effort counters (stats only, never control flow).
-        self.reads_compiled = 0
-        self.reads_simulated = 0
+        self.reads_compiled = 0  #: state: counter
+        self.reads_simulated = 0  #: state: counter
 
     # ------------------------------------------------------------------
     # construction
@@ -156,6 +158,7 @@ class PathNFA:
             self._transition_count += 1
         return state.chain
 
+    #: state: mutator
     def insert(self, path: PathPattern, entry: AcceptEntry) -> None:
         """Insert one normalized view path pattern.
 
@@ -385,22 +388,29 @@ class CompiledNFA:
     )
 
     def __init__(self, nfa_states: list[_State]) -> None:
-        self._nfa_states = nfa_states
+        self._nfa_states = nfa_states  #: state: hard
         #: guarded-by: _lock (writes)
+        #: state: soft(derived-from=_nfa_states; rebuild=_build_row)
         self._sets: list[frozenset[int]] = []
         #: per-DFA-state label row; ``None`` until the row is built.
         #: guarded-by: _lock (writes)
+        #: state: soft(derived-from=_nfa_states; rebuild=_build_row)
         self._labels: list[dict[str, int] | None] = []
         #: guarded-by: _lock (writes)
+        #: state: soft(derived-from=_nfa_states; rebuild=_build_row)
         self._other: list[int] = []
         #: guarded-by: _lock (writes)
+        #: state: soft(derived-from=_nfa_states; rebuild=_build_row)
         self._hash: list[int] = []
         #: guarded-by: _lock (writes)
+        #: state: soft(derived-from=_nfa_states; rebuild=_build_row)
         self._accepts: list[tuple[AcceptEntry, ...]] = []
         #: guarded-by: _lock (writes)
+        #: state: soft(derived-from=_nfa_states; rebuild=_build_row)
         self._intern: dict[frozenset[int], int] = {}
         self._lock = threading.Lock()
         #: guarded-by: _lock (writes)
+        #: state: counter
         self._rows_built = 0
         dead = self._intern_set(frozenset())
         assert dead == self.DEAD
@@ -408,7 +418,7 @@ class CompiledNFA:
         self._other[dead] = dead
         self._hash[dead] = dead
         self._rows_built += 1
-        self._start = self._intern_set(frozenset({0}))
+        self._start = self._intern_set(frozenset({0}))  #: state: hard
 
     # ------------------------------------------------------------------
     # construction (all mutation under ``_lock`` after ``__init__``)

@@ -117,11 +117,13 @@ class PlanCache:
     """
 
     def __init__(self, maxsize: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
-        self.maxsize = maxsize
+        self.maxsize = maxsize  #: state: hard
         #: guarded-by: _lock
+        #: state: soft(derived-from=MaterializedViewSystem.document; rebuild=_derive_selection)
         self._entries: OrderedDict[tuple[str, str], PlanEntry] = OrderedDict()
         self._lock = threading.Lock()
         #: guarded-by: _lock (writes)
+        #: state: counter
         self.stats = PlanCacheStats()
 
     def __len__(self) -> int:

@@ -172,23 +172,30 @@ class MaterializedViewSystem:
         cache_results: bool = True,
         telemetry: Telemetry | None = None,
     ):
+        #: state: hard
         self.document = document
+        #: state: soft(derived-from=document?; rebuild=_refresh_views)
         self.fragments = FragmentStore(store, cap_bytes=fragment_cap)
-        self._plan_cache_size = plan_cache_size
-        self._cache_results = cache_results
+        self._plan_cache_size = plan_cache_size  #: state: hard
+        self._cache_results = cache_results  #: state: hard
+        #: state: soft(derived-from=document?; rebuild=intern)
         self._memo = CoverageMemo()
         #: The telemetry bundle every component of this system reports
         #: into; the service layer reuses it so scheduler counters and
         #: derivation histograms share one registry (and one clock).
+        #: state: counter
         self.telemetry = (
             telemetry if telemetry is not None else Telemetry.create()
         )
-        self._clock = self.telemetry.clock
+        self._clock = self.telemetry.clock  #: state: hard
         #: guarded-by: _index_lock (writes)
+        #: state: soft(derived-from=document; rebuild=_ensure_node_index)
         self._node_index: NodeIndex | None = None
         #: guarded-by: _index_lock (writes)
+        #: state: soft(derived-from=document; rebuild=_ensure_path_index)
         self._path_index: FullPathIndex | None = None
         #: guarded-by: _index_lock (writes)
+        #: state: soft(derived-from=document; rebuild=_ensure_stream_index)
         self._stream_index: DeweyStreamIndex | None = None
         #: Serialises every registry mutation (registration, eviction,
         #: maintenance).  Readers never take it: they pin ``_epoch``.
@@ -202,8 +209,10 @@ class MaterializedViewSystem:
         self._index_lock = threading.Lock()
         #: Cumulative plan-cache counters of every retired epoch.
         #: guarded-by: _stats_lock
+        #: state: counter
         self._plan_stats_base = PlanCacheStats()
         #: guarded-by: _mutate_lock (writes, pin-once)
+        #: state: soft(derived-from=document?; rebuild=_publish)
         self._epoch = RegistryEpoch(
             seq=0,
             views={},
@@ -216,27 +225,32 @@ class MaterializedViewSystem:
         # two can never disagree.  Each metric carries its own leaf
         # lock; none is ever taken while holding another metric's.
         registry = self.telemetry.registry
+        #: state: counter
         self._stage_hist = registry.histogram(
             "repro_stage_seconds",
             "Seconds spent in each answering pipeline stage.",
             ("stage",),
         )
+        #: state: counter
         self._answer_hist = registry.histogram(
             "repro_answer_seconds",
             "End-to-end answer() latency (post-parse), by cache outcome.",
             ("cache",),
         )
+        #: state: counter
         self._answers_total = registry.counter(
             "repro_answers_total",
             "answer() calls, by strategy and plan-cache outcome "
             "(unanswerable queries are counted too).",
             ("strategy", "cache"),
         )
+        #: state: counter
         self._registrations_total = registry.counter(
             "repro_views_registered_total",
             "View registrations, by evaluation mode.",
             ("mode",),
         )
+        #: state: counter
         self._epoch_swaps_total = registry.counter(
             "repro_epoch_swaps_total",
             "Registry epoch publications (registration, eviction, reopen).",
@@ -351,6 +365,7 @@ class MaterializedViewSystem:
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
+    #: state: mutator
     def register_view(self, view_id: str, expression: str | TreePattern) -> bool:
         """Materialize a view; returns False when the 128 KiB cap was hit
         (the view is then excluded from answering, as in the paper)."""
@@ -402,6 +417,7 @@ class MaterializedViewSystem:
             self._publish(views, materialized, vfilter)
             return fits
 
+    #: state: mutator
     def register_views(
         self,
         expressions: dict[str, str | TreePattern],

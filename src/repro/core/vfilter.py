@@ -59,11 +59,11 @@ class VFilter:
     """
 
     def __init__(self, attribute_pruning: bool = True) -> None:
-        self.attribute_pruning = attribute_pruning
-        self.nfa = PathNFA()
-        self._views: dict[str, View] = {}
-        self._order: list[str] = []
-        self._order_index: dict[str, int] = {}
+        self.attribute_pruning = attribute_pruning  #: state: hard
+        self.nfa = PathNFA()  #: state: hard
+        self._views: dict[str, View] = {}  #: state: hard
+        self._order: list[str] = []  #: state: hard
+        self._order_index: dict[str, int] = {}  #: state: hard
         # All-wildcard view paths (/*/*/…) contain every query path with
         # at least as many steps; the NFA's root handling cannot express
         # that, so they live in a side registry consulted by filter().
@@ -71,15 +71,19 @@ class VFilter:
         # per-length-threshold aggregates are precomputed lazily:
         #   threshold t -> {view_id: best matching wildcard-path length}
         #   threshold t -> {view_id: number of wildcard paths matched}
-        self._wildcard_entries: list[AcceptEntry] = []
-        self._constrained: dict[str, frozenset] = {}
+        self._wildcard_entries: list[AcceptEntry] = []  #: state: hard
+        self._constrained: dict[str, frozenset] = {}  #: state: hard
+        #: state: soft(derived-from=_wildcard_entries; rebuild=_wildcard_best)
         self._wc_best: dict[int, dict[str, int]] = {}
+        #: state: soft(derived-from=_wildcard_entries; rebuild=_wildcard_counts)
         self._wc_count: dict[int, dict[str, int]] = {}
+        #: state: soft(derived-from=_wildcard_entries; rebuild=add_view)
         self._wc_max_length = 0
 
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
+    #: state: mutator
     def add_view(self, view: View) -> None:
         """Insert a view's (already normalized) path patterns."""
         if view.view_id in self._views:
@@ -100,6 +104,7 @@ class VFilter:
             else:
                 self.nfa.insert(path, entry)
 
+    #: state: mutator
     def add_views(self, views: list[View]) -> None:
         for view in views:
             self.add_view(view)
@@ -430,8 +435,8 @@ class LayeredVFilter:
     def __init__(
         self, base: VFilter, deltas: tuple[VFilter, ...] = ()
     ) -> None:
-        self.base = base
-        self.deltas = deltas
+        self.base = base  #: state: hard
+        self.deltas = deltas  #: state: hard
 
     # ------------------------------------------------------------------
     # construction

@@ -35,14 +35,14 @@ class SnapshotEngine:
     """Thread-safe facade over one :class:`MaterializedViewSystem`."""
 
     def __init__(self, system: MaterializedViewSystem) -> None:
-        self._system = system
+        self._system = system  #: state: hard
         self._gate = threading.Condition(threading.Lock())
         #: guarded-by: _gate
-        self._active = 0
+        self._active = 0  #: state: counter
         #: guarded-by: _gate
-        self._maintenance_waiting = 0
+        self._maintenance_waiting = 0  #: state: counter
         #: guarded-by: _gate
-        self._maintaining = False
+        self._maintaining = False  #: state: hard
 
     # ------------------------------------------------------------------
     # shared-side gate
@@ -96,6 +96,7 @@ class SnapshotEngine:
         finally:
             self._exit_shared()
 
+    #: state: mutator
     def maintain(
         self, operation: Callable[[MaterializedViewSystem], T]
     ) -> T:

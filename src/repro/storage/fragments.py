@@ -94,14 +94,16 @@ class FragmentStore:
 
     def __init__(self, store: KVStore | None = None,
                  cap_bytes: int = DEFAULT_FRAGMENT_CAP):
-        self.store = store if store is not None else KVStore()
-        self.cap_bytes = cap_bytes
-        # view_id -> (count, total_bytes, capped)
+        self.store = store if store is not None else KVStore()  #: state: hard
+        self.cap_bytes = cap_bytes  #: state: hard
+        #: view_id -> (count, total_bytes, capped)
+        #: state: soft(derived-from=store?; rebuild=_load_manifests)
         self._manifests: dict[str, tuple[int, int, bool]] = {}
         # Warm-read cache of Fragment objects (≤ cap_bytes per view, so
         # memory stays bounded) — the analogue of Berkeley DB XML's page
         # cache in the paper's setup.  Callers must not mutate the
         # returned subtrees' structure.
+        #: state: soft(derived-from=_manifests; rebuild=fragments)
         self._cache: dict[str, list[Fragment]] = {}
         self._load_manifests()
 
@@ -184,6 +186,11 @@ class FragmentStore:
 
     def _mark_capped(self, view_id: str) -> bool:
         self._manifests[view_id] = (0, 0, True)
+        # The warm cache is keyed off the manifest; a stale entry here
+        # would keep serving fragments for a view that no longer has
+        # any.  Today every caller funnels through drop() first, but
+        # the eviction must not depend on that remote invariant.
+        self._cache.pop(view_id, None)
         self._write_manifest(view_id)
         return False
 
@@ -193,6 +200,7 @@ class FragmentStore:
         for seq, payload in enumerate(payloads):
             self.store.put(self._fragment_key(view_id, seq), payload)
         self._manifests[view_id] = (len(payloads), total, False)
+        self._cache.pop(view_id, None)
         self._write_manifest(view_id)
 
     def drop(self, view_id: str) -> None:

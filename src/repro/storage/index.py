@@ -80,9 +80,10 @@ class NodeIndex:
     """BN: label → nodes, built in one pass over the document."""
 
     def __init__(self, tree: XMLTree) -> None:
-        self.tree = tree
+        self.tree = tree  #: state: hard
+        #: state: soft(derived-from=tree; rebuild=__init__)
         self._by_label: dict[str, list[XMLNode]] = {}
-        self._total_nodes = 0
+        self._total_nodes = 0  #: state: counter
         for node in tree.iter_nodes():
             self._by_label.setdefault(node.label, []).append(node)
             self._total_nodes += 1
@@ -129,8 +130,10 @@ class DeweyStreamIndex:
     """
 
     def __init__(self, tree: XMLTree) -> None:
-        self.tree = tree
+        self.tree = tree  #: state: hard
+        #: state: soft(derived-from=tree; rebuild=__init__)
         self._by_label: dict[str, list[PackedCode]] = {}
+        #: state: soft(derived-from=tree; rebuild=__init__)
         self._all: list[PackedCode] = []
         for node in tree.iter_nodes():
             packed = node.dewey_packed
@@ -177,7 +180,8 @@ class FullPathIndex:
     """BF: concrete label-path → nodes (DataGuide-style full index)."""
 
     def __init__(self, tree: XMLTree) -> None:
-        self.tree = tree
+        self.tree = tree  #: state: hard
+        #: state: soft(derived-from=tree; rebuild=__init__)
         self._by_path: dict[tuple[str, ...], list[XMLNode]] = {}
         # One pass, carrying the label path down the DFS.
         stack: list[tuple[XMLNode, tuple[str, ...]]] = [

@@ -54,18 +54,22 @@ class KVStore:
     """
 
     def __init__(self, path: str | None = None):
-        self.path = path
+        self.path = path  #: state: hard
         #: Serialises every store operation; the log I/O happens under
         #: it by design (see the class docstring).
         #: lock: blocking-allowed
         self._lock = threading.RLock()
+        #: key -> (offset, vlen)
         #: guarded-by: _lock
-        self._index: dict[bytes, tuple[int, int]] = {}  # key -> (offset, vlen)
+        #: state: soft(derived-from=_handle; rebuild=_recover)
+        self._index: dict[bytes, tuple[int, int]] = {}
         #: guarded-by: _lock
+        #: state: soft(derived-from=_index, _memory?; rebuild=_recover)
         self._live_bytes = 0
         #: guarded-by: _lock
-        self._handle = None
+        self._handle = None  #: state: hard
         #: guarded-by: _lock
+        #: state: soft(derived-from=_handle; rebuild=_recover)
         self._length = 0
         if path is not None:
             exists = os.path.exists(path)
@@ -75,7 +79,7 @@ class KVStore:
             self._length = self._handle.seek(0, os.SEEK_END)
         else:
             #: guarded-by: _lock
-            self._memory: dict[bytes, bytes] = {}
+            self._memory: dict[bytes, bytes] = {}  #: state: hard
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -111,12 +115,19 @@ class KVStore:
         return _CRC_STRUCT.pack(zlib.crc32(body)) + body
 
     def _recover(self) -> None:
-        """Rebuild the index by scanning the log; truncate a torn tail."""
+        """Rebuild the index by scanning the log; truncate a torn tail.
+
+        The log is fully scanned (and the torn tail dropped) *before*
+        the first index write, so the index never reflects bytes the
+        truncation is about to remove — the derived state is rebuilt
+        strictly after its source stops changing.
+        """
         assert self._handle is not None
         self._handle.seek(0)
         data = self._handle.read()
         offset = 0
         good_upto = 0
+        records: list[tuple[int, bytes, int, int]] = []
         while offset < len(data):
             try:
                 record_offset = offset
@@ -138,20 +149,11 @@ class KVStore:
                     raise StorageCorruptionError(
                         f"bad checksum at offset {record_offset}"
                     )
+                if flag not in (_FLAG_PUT, _FLAG_DEL):
+                    raise StorageCorruptionError(f"bad flag {flag}")
                 key = data[offset : offset + key_len]
                 value_offset = offset + key_len
-                if flag == _FLAG_PUT:
-                    previous = self._index.get(key)
-                    if previous is not None:
-                        self._live_bytes -= previous[1] + len(key)
-                    self._index[key] = (value_offset, value_len)
-                    self._live_bytes += value_len + len(key)
-                elif flag == _FLAG_DEL:
-                    previous = self._index.pop(key, None)
-                    if previous is not None:
-                        self._live_bytes -= previous[1] + len(key)
-                else:
-                    raise StorageCorruptionError(f"bad flag {flag}")
+                records.append((flag, key, value_offset, value_len))
                 offset = end
                 good_upto = end
             except StorageCorruptionError:
@@ -162,6 +164,21 @@ class KVStore:
         if good_upto < len(data):
             self._handle.seek(good_upto)
             self._handle.truncate()
+        # Reset the derived state only once the log has reached its
+        # final (possibly truncated) form, then replay.
+        self._index.clear()
+        self._live_bytes = 0
+        for flag, key, value_offset, value_len in records:
+            if flag == _FLAG_PUT:
+                previous = self._index.get(key)
+                if previous is not None:
+                    self._live_bytes -= previous[1] + len(key)
+                self._index[key] = (value_offset, value_len)
+                self._live_bytes += value_len + len(key)
+            else:
+                previous = self._index.pop(key, None)
+                freed = previous[1] + len(key) if previous is not None else 0
+                self._live_bytes -= freed
 
     # ------------------------------------------------------------------
     # operations
@@ -272,6 +289,7 @@ class KVStore:
                 return self._live_bytes
             return self._length
 
+    #: state: mutator
     def compact(self) -> None:
         """Rewrite the log keeping only live records."""
         with self._lock:
@@ -287,7 +305,5 @@ class KVStore:
             self._handle.close()
             os.replace(temp_path, self.path)
             self._handle = open(self.path, "a+b")
-            self._index.clear()
-            self._live_bytes = 0
             self._recover()
             self._length = self._handle.seek(0, os.SEEK_END)

@@ -233,6 +233,25 @@ class TestFragmentStore:
         assert store.view_ids() == []
         store.drop("v")  # idempotent
 
+    def test_manifest_writers_evict_warm_cache(self):
+        # White-box regression for the L15 gap: a manifest rewrite
+        # (store or mark-capped) must drop the view's warm-cache entry,
+        # not rely on every caller routing through drop() first.
+        tree = build_tree(("r", [("b", ["c"])]))
+        entries, _doc = self._entries(tree)
+        store = FragmentStore()
+        sentinel = object()
+        store._cache["v"] = [sentinel]
+        store.materialize("v", entries)
+        fragments = store.fragments("v")
+        assert sentinel not in fragments
+        assert [f.code for f in fragments] == [e[0] for e in entries]
+
+        capped = FragmentStore(cap_bytes=1)
+        capped._cache["big"] = [sentinel]
+        assert not capped.materialize("big", entries)
+        assert capped.fragments("big") == []
+
     def test_persistence_across_reopen(self, tmp_path):
         path = str(tmp_path / "frags")
         tree = build_tree(("r", [("b", ["c"]), ("b", [])]))

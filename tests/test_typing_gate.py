@@ -39,6 +39,7 @@ ALWAYS_STRICT_PREFIXES = (
     "repro.xpath",
     "repro.analysis",
     "repro.service",
+    "repro.obs",
 )
 
 

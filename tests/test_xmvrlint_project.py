@@ -696,6 +696,11 @@ def test_explain_returns_design_entries():
         ("L12", "pinning"),
         ("L13", "immutability"),
         ("L14", "blocking"),
+        ("L15", "invalidat"),
+        ("L16", "acyclic"),
+        ("L17", "rebuild"),
+        ("L18", "mutator"),
+        ("L19", "unannotated"),
     ]:
         text = explain_rule(rule_id)
         assert text.startswith(f"**{rule_id} ")
@@ -785,10 +790,11 @@ def test_fix_on_clean_file_changes_nothing(tmp_path, capsys):
 # the repo itself is clean under the full rule set
 # ----------------------------------------------------------------------
 def test_repo_is_clean_under_whole_program_rules():
-    # L6-L9 dataflow plus the L10-L14 concurrency rules: the real tree
-    # must stay clean with zero unjustified suppressions.
+    # The full per-file + whole-program rule set (dataflow L6-L9,
+    # concurrency L10-L14, derived-state L15-L19): the real tree must
+    # stay clean with zero unjustified suppressions.
     src = Path(__file__).resolve().parent.parent / "src"
     violations = lint_paths(
-        [src], all_rules(["L6-L14"]), root=src.parent
+        [src], all_rules(["L1-L19"]), root=src.parent
     )
     assert violations == [], engine.render_human(violations)
