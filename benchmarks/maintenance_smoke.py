@@ -1,0 +1,152 @@
+"""Maintenance regression gate: the delta path must actually be ON.
+
+``benchmarks/perf_smoke.py`` guards the read-path feature flags; this
+is its write-path sibling.  Every optimization the delta subsystem
+provides fails *silently* — a disabled scoped invalidation degrades to
+"drop every plan", a disabled patcher degrades to "rebuild every view",
+a reset base index degrades to "re-derive from scratch" — and all of
+them still return correct answers, so only an explicit gate notices.
+
+Asserted here, on a small book-shaped document:
+
+1. an in-schema insert takes the **delta** path (no full re-encode)
+   and the path view is **patched**, not rebuilt;
+2. invalidation is **scoped**: the edit counts one
+   ``scoped_invalidations``, zero blanket ``invalidations``, and a
+   warm plan over an *untouched* view survives the edit (stays a hit);
+3. base derived indexes (``_node_index``) are **patched in place**,
+   not nulled, and post-edit BN answers reflect the edit;
+4. maintenance publishes **no epoch** — the registry sequence is
+   unchanged, which is what lets retained plans survive;
+5. with ``XMVR_CHECK=1`` the byte-identity contract ran over the
+   patched fragments (implicitly: a violation would have raised).
+
+Run in CI (service job) and locally::
+
+    PYTHONPATH=src XMVR_CHECK=1 python benchmarks/maintenance_smoke.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+from repro.core.system import MaterializedViewSystem
+from repro.delta import DocumentEditor
+from repro.xmltree.builder import encode_tree
+from repro.xmltree.tree import XMLNode, build_tree
+
+
+@contextlib.contextmanager
+def _checks_on():
+    """Force the contract layer on for the smoke run only — scoped so
+    a shared pytest process doesn't leak ``XMVR_CHECK=1`` into the
+    timing benchmarks collected alongside this file."""
+    previous = {
+        key: os.environ.get(key) for key in ("XMVR_CHECK", "XMVR_CHECK_SAMPLE")
+    }
+    os.environ["XMVR_CHECK"] = "1"
+    os.environ["XMVR_CHECK_SAMPLE"] = "1"
+    try:
+        yield
+    finally:
+        for key, value in previous.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _book_system() -> MaterializedViewSystem:
+    document = encode_tree(
+        build_tree(
+            ("b", ["t", ("s", ["t", "p"]), ("s", ["t", "p", ("f", ["i"])])])
+        )
+    )
+    system = MaterializedViewSystem(document)
+    system.register_view("VP", "//s/p")
+    system.register_view("VT", "//s/t")
+    return system
+
+
+def run_smoke() -> dict:
+    with _checks_on():
+        return _run_smoke()
+
+
+def _run_smoke() -> dict:
+    system = _book_system()
+    editor = DocumentEditor(system)
+    epoch_before = system._epoch.seq
+
+    # Warm both plans; BN builds the _node_index derived state.
+    vp_cold = system.answer("//s/p", "HV")
+    vt_cold = system.answer("//s/t", "HV")
+    bn_cold = system.answer_bn("//s/p")
+    assert system._node_index is not None, "BN must have built the node index"
+
+    # One schema-admitted insert: a new p under the first section.
+    section_code = system.direct_codes("//s")[0]
+    report = editor.insert_subtree(section_code, XMLNode("p", text="smoke"))
+
+    # 1. delta path, path view patched.
+    assert not report.full_reencode, "in-schema insert must not re-encode"
+    modes = {view.view_id: view.mode for view in report.views}
+    assert modes.get("VP") == "patched", f"VP should be patched, got {modes}"
+    assert "VT" in report.skipped_views, "VT is untouched by a p-insert"
+
+    # 2. scoped invalidation: one scoped event, zero blanket clears,
+    #    and the untouched view's plan is still warm.
+    cache = system.stats()["plan_cache"]
+    assert cache["scoped_invalidations"] == 1, cache
+    assert cache["invalidations"] == 0, "edit must not blanket-clear"
+    assert cache["plans_dropped"] >= 1, "the VP plan embeds VP fragments"
+    vt_warm = system.answer("//s/t", "HV")
+    assert vt_warm.plan_cache_hit, "untouched view's plan must survive"
+    assert vt_warm.codes == vt_cold.codes
+
+    # 3. base index patched in place, answers correct post-edit.
+    assert system._node_index is not None, "node index must be patched, not nulled"
+    vp_post = system.answer("//s/p", "HV")
+    bn_post = system.answer_bn("//s/p")
+    truth = system.direct_codes("//s/p")
+    assert vp_post.codes == truth and bn_post.codes == truth
+    assert len(truth) == len(bn_cold.codes) + 1, "insert must add one answer"
+    assert not vp_cold.codes == truth, "the edit must be visible"
+
+    # 4. no epoch published: retained plans live in the same epoch.
+    assert system._epoch.seq == epoch_before, (
+        "maintenance must not publish an epoch"
+    )
+
+    # Delete the inserted node; counters accumulate per-op modes.
+    victim = next(code for code in truth if code not in set(vp_cold.codes))
+    delete_report = editor.delete_subtree(victim)
+    assert not delete_report.full_reencode
+    assert system.answer("//s/p", "HV").codes == vp_cold.codes
+
+    maintenance = system.stats()["maintenance"]
+    assert maintenance["repro_maintenance_ops_total"]["insert|delta"] == 1.0
+    assert maintenance["repro_maintenance_ops_total"]["delete|delta"] == 1.0
+    return {
+        "insert": report.as_dict(),
+        "delete": delete_report.as_dict(),
+        "plan_cache": system.stats()["plan_cache"],
+    }
+
+
+def test_maintenance_smoke():
+    run_smoke()
+
+
+def main() -> int:
+    run_smoke()
+    print(
+        "maintenance-smoke: OK (delta path on, scoped invalidation, "
+        "indexes patched, no epoch published, byte-identity checked)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

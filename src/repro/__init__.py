@@ -29,6 +29,7 @@ from .core import (
     select_heuristic,
     select_minimum,
 )
+from .delta import DocumentEditor, MaintenanceReport
 from .errors import (
     EncodingError,
     PatternError,
@@ -67,9 +68,11 @@ __version__ = "1.0.0"
 __all__ = [
     "AnswerOutcome",
     "Axis",
+    "DocumentEditor",
     "DocumentSchema",
     "EncodedDocument",
     "EncodingError",
+    "MaintenanceReport",
     "FiniteStateTransducer",
     "MaterializedViewSystem",
     "PathPattern",

@@ -24,7 +24,7 @@ as effect-free.  The resolution ladder, in order:
 
 Layer ranks for rule L9 live here too (:func:`layer_of`): the package
 DAG ``obs → xmltree → xpath → matching → storage → core → {analysis,
-workload} → {bench, service}``, with ``errors`` importable from
+delta, workload} → {bench, service}``, with ``errors`` importable from
 everywhere and the top-level application shell (``cli``,
 ``__main__``) exempt.
 """
@@ -74,6 +74,7 @@ LAYER_RANKS: dict[str, int] = {
     "storage": 5,
     "core": 6,
     "analysis": 7,
+    "delta": 7,
     "workload": 7,
     "bench": 8,
     "service": 8,

@@ -101,7 +101,7 @@ Finding = tuple[str, int, str]
 #: the same seed rule L1 uses, scoped to the modules that own
 #: maintenance so unrelated trees elsewhere do not alias the document.
 DOC_SURGERY = frozenset({"detach", "add_child"})
-DOC_MODULES = frozenset({"repro.core.maintenance", "repro.core.system"})
+DOC_MODULES = frozenset({"repro.delta.maintenance", "repro.core.system"})
 DOC_TOKEN: Token = ("MaterializedViewSystem", "document")
 
 #: Unresolvable method names that mutate the object they are invoked
@@ -110,6 +110,8 @@ DOC_TOKEN: Token = ("MaterializedViewSystem", "document")
 FIELD_MUTATORS = GENERIC_MUTATORS | {
     "write", "truncate", "materialize", "materialize_encoded", "drop",
     "evict_views", "put", "delete", "add_view", "add_views",
+    "insert_subtree", "remove_subtree", "remove_range", "invalidate_views",
+    "note_subtree", "forget_subtree",
 }
 
 #: Construction/teardown methods: exempt from L15 entry obligations and

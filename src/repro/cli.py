@@ -135,20 +135,43 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         server.start()
         try:
             queries = build_query_mix(system)
+            # Split the budget around a maintenance phase: edits land
+            # mid-run, with live reads before and after them.
+            first_half = max(1, arguments.smoke // 2)
             report = run_closed_loop(
                 lambda: HTTPClient(host, bound_port),
                 queries,
-                total_requests=arguments.smoke,
+                total_requests=first_half,
                 concurrency=min(8, arguments.threads * 2),
                 weights=zipf_weights(len(queries)),
                 seed=arguments.seed,
             )
+            edit_error = _drive_smoke_edits(host, bound_port)
+            second = run_closed_loop(
+                lambda: HTTPClient(host, bound_port),
+                queries,
+                total_requests=max(1, arguments.smoke - first_half),
+                concurrency=min(8, arguments.threads * 2),
+                weights=zipf_weights(len(queries)),
+                seed=arguments.seed + 1,
+            )
+            report.requests += second.requests
+            report.elapsed_seconds += second.elapsed_seconds
+            for status, count in second.status_counts.items():
+                report.status_counts[status] = (
+                    report.status_counts.get(status, 0) + count
+                )
+            report.latencies_ms.extend(second.latencies_ms)
             # Scrape while the server is still up: the exposition must
             # parse, count the traffic we just drove, and agree with
             # the engine's own stats() — same cells, two readouts.
             telemetry_error = _check_telemetry_endpoints(
                 host, bound_port, system
             )
+            if telemetry_error is None:
+                telemetry_error = _check_maintenance_metrics(
+                    host, bound_port, system
+                )
         finally:
             server.shutdown()
         print(f"smoke: {report.requests} requests, "
@@ -158,12 +181,17 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
               f"p99 {report.percentile(0.99):.2f} ms")
         if arguments.profile:
             _print_profile(system)
+        if edit_error is not None:
+            print(f"smoke: maintenance FAILED: {edit_error}",
+                  file=sys.stderr)
+            return 2
         if telemetry_error is not None:
             print(f"smoke: telemetry FAILED: {telemetry_error}",
                   file=sys.stderr)
             return 2
         print("smoke: telemetry OK (/metrics parses, counters agree "
-              "with stats, /debug/slow populated)")
+              "with stats, /debug/slow populated, maintenance counters "
+              "consistent)")
         if report.server_errors or report.ok != report.requests:
             print("smoke: FAILED", file=sys.stderr)
             return 2
@@ -192,6 +220,109 @@ def _http_get(
         return response.status, response.read()
     finally:
         connection.close()
+
+
+def _http_post(
+    host: str, port: int, path: str, body: dict[str, Any],
+    timeout: float = 30.0,
+) -> tuple[int, bytes]:
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request(
+            "POST", path, json.dumps(body),
+            {"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def _drive_smoke_edits(host: str, port: int) -> str | None:
+    """Exercise ``POST /edit`` against the live server: delete one
+    ``//item/name`` answer, re-insert a replacement under the same
+    item, and confirm the served answer count is conserved.  Returns an
+    error description, or None when the write path checks out."""
+    status, payload = _http_post(
+        host, port, "/query", {"query": "//item/name"}
+    )
+    if status != 200:
+        return f"pre-edit POST /query returned {status}"
+    codes = json.loads(payload).get("codes", [])
+    if not codes:
+        return "pre-edit //item/name returned no answers to edit"
+    victim = codes[0]
+    status, payload = _http_post(
+        host, port, "/edit", {"op": "delete", "node": victim}
+    )
+    if status != 200:
+        return f"POST /edit delete returned {status}: {payload[:200]!r}"
+    report = json.loads(payload)
+    if report.get("operation") != "delete" or report.get("full_reencode"):
+        return f"unexpected delete report: {report}"
+    parent = victim.rsplit(".", 1)[0]
+    status, payload = _http_post(
+        host, port, "/edit",
+        {
+            "op": "insert",
+            "parent": parent,
+            "subtree": {"label": "name", "text": "smoke-edit"},
+        },
+    )
+    if status != 200:
+        return f"POST /edit insert returned {status}: {payload[:200]!r}"
+    report = json.loads(payload)
+    if report.get("operation") != "insert" or report.get("full_reencode"):
+        return f"unexpected insert report: {report}"
+    status, payload = _http_post(
+        host, port, "/query", {"query": "//item/name"}
+    )
+    if status != 200:
+        return f"post-edit POST /query returned {status}"
+    after = json.loads(payload).get("codes", [])
+    if len(after) != len(codes):
+        return (
+            f"answer count not conserved across delete+insert: "
+            f"{len(codes)} before, {len(after)} after"
+        )
+    return None
+
+
+def _check_maintenance_metrics(
+    host: str, port: int, system: MaterializedViewSystem
+) -> str | None:
+    """The maintenance counters must be nonzero after the smoke edits
+    and agree with ``stats()`` — same cells, two readouts."""
+    from .obs import parse_exposition
+
+    status, payload = _http_get(host, port, "/metrics")
+    if status != 200:
+        return f"GET /metrics returned {status}"
+    families = parse_exposition(payload.decode("utf-8"))
+    ops = families.get("repro_maintenance_total")
+    if ops is None:
+        return "/metrics lacks repro_maintenance_total"
+    for op in ("insert", "delete"):
+        exposed = ops.value(op=op)
+        if not exposed:
+            return f"repro_maintenance_total{{op={op!r}}} is zero " \
+                   f"after the smoke edits"
+    maintenance = system.stats()["maintenance"]
+    assert isinstance(maintenance, dict)
+    for op, expected in maintenance["repro_maintenance_total"].items():
+        exposed = ops.value(op=op) or 0.0
+        if exposed != expected:
+            return (
+                f"repro_maintenance_total{{op={op!r}}}: /metrics "
+                f"{exposed} disagrees with stats() {expected}"
+            )
+    modes = families.get("repro_maintenance_ops_total")
+    if modes is None:
+        return "/metrics lacks repro_maintenance_ops_total"
+    if not (modes.value(op="insert", mode="delta") and
+            modes.value(op="delete", mode="delta")):
+        return "smoke edits did not take the delta maintenance path"
+    return None
 
 
 def _check_telemetry_endpoints(
@@ -322,6 +453,10 @@ def _print_profile(system: MaterializedViewSystem) -> None:
         print(f"  {stage:<9} {seconds * 1e3:10.2f}")
 
 
+def _render_stat(value: Any) -> str:
+    return f"{value:.4f}" if isinstance(value, float) else str(value)
+
+
 def _cmd_generate(arguments: argparse.Namespace) -> int:
     tree = generate_xmark(scale=arguments.scale, seed=arguments.seed)
     payload = serialize(tree, indent=1 if arguments.pretty else None)
@@ -361,12 +496,19 @@ def _cmd_answer(arguments: argparse.Namespace) -> int:
         print("stats    :")
         for section, values in system.stats().items():
             if isinstance(values, dict):
-                rendered = ", ".join(
-                    f"{key}={value:.4f}" if isinstance(value, float)
-                    else f"{key}={value}"
-                    for key, value in values.items()
-                )
-                print(f"  {section}: {rendered}")
+                parts = []
+                for key, value in values.items():
+                    if isinstance(value, dict):
+                        # Nested sections (e.g. maintenance metric
+                        # families, labels → values) flatten one level.
+                        inner = ", ".join(
+                            f"{k}={_render_stat(v)}"
+                            for k, v in value.items()
+                        )
+                        parts.append(f"{key}[{inner}]")
+                    else:
+                        parts.append(f"{key}={_render_stat(value)}")
+                print(f"  {section}: " + ", ".join(parts))
             else:
                 print(f"  {section}: {values}")
     if arguments.profile:

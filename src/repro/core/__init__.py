@@ -17,7 +17,6 @@ from .refine import RefinedUnit, compensating_pattern, refine_unit
 from .rewrite import RewriteResult, reencode_fragment, rewrite
 from .contained import ContainedResult, maximal_contained_rewriting
 from .explain import QueryExplanation, ViewExplanation, explain_query
-from .maintenance import DocumentEditor, MaintenanceReport
 from .selection import (
     Selection,
     select_cost_based,
@@ -57,8 +56,6 @@ __all__ = [
     "refine_unit",
     "rewrite",
     "ContainedResult",
-    "DocumentEditor",
-    "MaintenanceReport",
     "QueryExplanation",
     "ViewExplanation",
     "explain_query",

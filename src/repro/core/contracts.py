@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .selection import Selection
     from .system import MaterializedViewSystem, RegistryEpoch
     from .vfilter import FilterResult
+    from .view import View
 
 __all__ = [
     "ContractViolation",
@@ -52,6 +53,7 @@ __all__ = [
     "check_selection_covers",
     "check_vfilter_sound",
     "check_plan_consistency",
+    "check_patched_fragments",
 ]
 
 
@@ -220,4 +222,45 @@ def check_plan_consistency(
             f"{context}: cached plan yields {len(cached_result.codes)} "
             f"answer code(s) but a fresh rewrite yields "
             f"{len(fresh_result.codes)}; stale plan entry"
+        )
+
+
+def check_patched_fragments(
+    system: "MaterializedViewSystem", view: "View", context: str
+) -> None:
+    """A delta-patched fragment set must be *byte-identical* to a full
+    re-materialization of the view over the live document.
+
+    Re-evaluates the pattern from scratch (no delta, no restricted
+    universe), encodes the answers exactly as
+    :meth:`FragmentStore.materialize` would, and compares the stored
+    payload bytes one-for-one.  Any divergence — a missed splice, an
+    un-re-encoded ancestor fragment, an ordering slip — is a patcher
+    bug, never a caller error.
+    """
+    from ..matching.evaluate import evaluate
+    from ..storage.serialize import encode_dewey, encode_fragment
+
+    answers = evaluate(view.pattern, system.document.tree)
+    entries = sorted(
+        ((node.dewey, node) for node in answers if node.dewey is not None),
+        key=lambda item: item[0],
+    )
+    expected = [
+        encode_dewey(code) + encode_fragment(node) for code, node in entries
+    ]
+    if sum(len(payload) for payload in expected) > system.fragments.cap_bytes:
+        raise ContractViolation(
+            f"{context}: view {view.view_id!r} exceeds the fragment cap "
+            f"when re-materialized fresh, but the delta patch kept it"
+        )
+    actual = [
+        fragment.payload
+        for fragment in system.fragments.fragments(view.view_id)
+    ]
+    if actual != expected:
+        raise ContractViolation(
+            f"{context}: view {view.view_id!r} patched fragments diverge "
+            f"from a full re-materialization ({len(actual)} stored vs "
+            f"{len(expected)} expected payloads)"
         )

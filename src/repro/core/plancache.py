@@ -19,9 +19,17 @@ holds the derived artifacts between calls:
 **Invalidation.**  A cached plan is valid only while the view pool and
 the base document are unchanged: ``register_view`` can extend the
 candidate sets, and a maintenance insert/delete changes fragments and
-answers.  :class:`MaterializedViewSystem` therefore clears the whole
-cache on every such mutation (see ``_invalidate_plans``); entries never
-survive a mutation, which keeps the invariant trivial to audit.  The
+answers.  View-pool changes publish a fresh epoch (and with it a fresh
+cache), so the blanket :meth:`PlanCache.clear` handles them trivially.
+Document edits are *scoped*: each entry records the view ids its plan
+depends on (the VFILTER candidate set united with the selected views —
+a superset of everything the rewrite read), and
+:meth:`PlanCache.invalidate_views` drops exactly the entries whose
+dependencies intersect the edit's affected views, plus entries with no
+recorded filter provenance (``None`` — e.g. the MN strategy, which
+skips VFILTER).  Negative entries depend on no fragments — edits never
+change answerability, which is a function of the view *patterns* — so
+they carry an empty dependency set and survive edits.  The
 coverage memo (:class:`~repro.core.leaf_cover.CoverageMemo`) is *not*
 cleared on document updates — coverage is a pure function of the view
 and query patterns, and view ids are never redefined within a system's
@@ -39,7 +47,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from ..errors import ViewNotAnswerableError
 from ..xpath.pattern import TreePattern
@@ -78,6 +86,27 @@ class PlanEntry:
             str(self.error), uncovered=self.error.uncovered
         )
 
+    def view_dependencies(self) -> frozenset[str] | None:
+        """View ids this plan's validity depends on.
+
+        * negative plans: the empty set — answerability depends only on
+          the view patterns, never on fragments, so edits keep them;
+        * plans with no recorded :class:`FilterResult` (the MN strategy
+          runs without VFILTER): ``None``, meaning "assume everything"
+          — scoped invalidation always drops them;
+        * positive plans: the VFILTER candidate set united with the
+          selected view ids — a superset of every view whose fragments
+          or statistics the derivation could have read.
+        """
+        if self.error is not None:
+            return frozenset()
+        if self.filter_result is None:
+            return None
+        deps = set(self.filter_result.candidates)
+        if self.selection is not None:
+            deps.update(self.selection.view_ids)
+        return frozenset(deps)
+
 
 @dataclass(slots=True)
 class PlanCacheStats:
@@ -87,6 +116,10 @@ class PlanCacheStats:
     misses: int = 0
     invalidations: int = 0
     evictions: int = 0
+    #: Scoped (per-edit) invalidation events and their outcomes.
+    scoped_invalidations: int = 0
+    plans_dropped: int = 0
+    plans_retained: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -94,6 +127,9 @@ class PlanCacheStats:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "evictions": self.evictions,
+            "scoped_invalidations": self.scoped_invalidations,
+            "plans_dropped": self.plans_dropped,
+            "plans_retained": self.plans_retained,
         }
 
     def absorb(self, other: "PlanCacheStats") -> None:
@@ -104,6 +140,9 @@ class PlanCacheStats:
         self.misses += other.misses
         self.invalidations += other.invalidations
         self.evictions += other.evictions
+        self.scoped_invalidations += other.scoped_invalidations
+        self.plans_dropped += other.plans_dropped
+        self.plans_retained += other.plans_retained
 
 
 class PlanCache:
@@ -121,6 +160,18 @@ class PlanCache:
         #: guarded-by: _lock
         #: state: soft(derived-from=MaterializedViewSystem.document; rebuild=_derive_selection)
         self._entries: OrderedDict[tuple[str, str], PlanEntry] = OrderedDict()
+        # Dependency index for scoped invalidation, kept in lockstep
+        # with _entries (weak edges: the index is bookkeeping over the
+        # entries, rebuilt entry-by-entry as put() re-derives them).
+        #: guarded-by: _lock
+        #: state: soft(derived-from=_entries?; rebuild=put)
+        self._deps: dict[tuple[str, str], frozenset[str] | None] = {}
+        #: guarded-by: _lock
+        #: state: soft(derived-from=_entries?; rebuild=put)
+        self._by_view: dict[str, set[tuple[str, str]]] = {}
+        #: guarded-by: _lock
+        #: state: soft(derived-from=_entries?; rebuild=put)
+        self._all_deps: set[tuple[str, str]] = set()
         self._lock = threading.Lock()
         #: guarded-by: _lock (writes)
         #: state: counter
@@ -148,19 +199,75 @@ class PlanCache:
     def put(self, query_key: str, strategy: str, entry: PlanEntry) -> None:
         if not self.enabled:
             return
+        key = (query_key, strategy)
+        deps = entry.view_dependencies()
         with self._lock:
-            self._entries[(query_key, strategy)] = entry
-            self._entries.move_to_end((query_key, strategy))
+            if key in self._entries:
+                self._unindex(key)
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                victim, _ = self._entries.popitem(last=False)
+                self._unindex(victim)
                 self.stats.evictions += 1
+            self._index(key, deps)
 
-    def clear(self) -> None:
-        """Drop every plan (view pool or base document changed)."""
+    def _index(self, key: tuple[str, str], deps: frozenset[str] | None) -> None:
+        self._deps[key] = deps
+        if deps is None:
+            self._all_deps.add(key)
+            return
+        for view_id in deps:
+            self._by_view.setdefault(view_id, set()).add(key)
+
+    def _unindex(self, key: tuple[str, str]) -> None:
+        deps = self._deps.pop(key, None)
+        self._all_deps.discard(key)
+        if deps:
+            for view_id in deps:
+                bucket = self._by_view.get(view_id)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        self._by_view.pop(view_id, None)
+
+    def clear(self) -> int:
+        """Drop every plan (view-pool change or blanket fallback);
+        returns how many entries were dropped."""
         with self._lock:
+            dropped = len(self._entries)
             if self._entries:
                 self.stats.invalidations += 1
-                self._entries.clear()
+            self._entries = OrderedDict()
+            self._deps = {}
+            self._by_view = {}
+            self._all_deps = set()
+            return dropped
+
+    def invalidate_views(self, view_ids: Iterable[str]) -> tuple[int, int]:
+        """Scoped invalidation for a document edit affecting exactly
+        ``view_ids``: drop the entries whose dependencies intersect the
+        set — plus every entry with no recorded provenance (``None``
+        dependencies) — and keep the rest warm.  Returns
+        ``(dropped, retained)``.
+        """
+        with self._lock:
+            doomed = set(self._all_deps)
+            for view_id in view_ids:
+                doomed |= self._by_view.get(view_id, set())
+            survivors = OrderedDict(
+                (key, entry)
+                for key, entry in self._entries.items()
+                if key not in doomed
+            )
+            dropped = len(self._entries) - len(survivors)
+            self._entries = survivors
+            for key in doomed:
+                self._unindex(key)
+            self.stats.scoped_invalidations += 1
+            self.stats.plans_dropped += dropped
+            self.stats.plans_retained += len(survivors)
+            return dropped, len(survivors)
 
     def stats_dict(self) -> dict[str, int]:
         """A consistent snapshot of the counters."""

@@ -174,7 +174,7 @@ class MaterializedViewSystem:
     ):
         #: state: hard
         self.document = document
-        #: state: soft(derived-from=document?; rebuild=_refresh_views)
+        #: state: soft(derived-from=document?; rebuild=_admit_view)
         self.fragments = FragmentStore(store, cap_bytes=fragment_cap)
         self._plan_cache_size = plan_cache_size  #: state: hard
         self._cache_results = cache_results  #: state: hard
@@ -596,21 +596,30 @@ class MaterializedViewSystem:
     # ------------------------------------------------------------------
     # plan cache plumbing
     # ------------------------------------------------------------------
-    def _invalidate_plans(self) -> None:
-        """Drop cached plans after any view-pool or document mutation.
+    def _invalidate_plans(
+        self, affected: Iterable[str] | None = None
+    ) -> tuple[int, int]:
+        """Drop cached plans after a view-pool or document mutation.
 
-        Called by :meth:`register_view` / :meth:`register_views` and by
-        :class:`~repro.core.maintenance.DocumentEditor` after inserts
-        and deletes.  The coverage memo carries over epoch swaps:
-        coverage is a pure function of the view and query patterns, so
-        registration never evicts it; maintenance separately evicts the
-        entries of the views it touches
+        Called by :meth:`register_view` / :meth:`register_views` (no
+        argument — blanket clear, and the publish that follows retires
+        the cleared cache wholesale) and by
+        :class:`~repro.delta.maintenance.DocumentEditor` on edits, which
+        passes the affected view ids so only the plans depending on one
+        of them — plus plans with no recorded filter provenance — are
+        dropped (:meth:`PlanCache.invalidate_views`); everything else
+        stays warm across the edit.  Returns ``(dropped, retained)``.
+
+        The coverage memo carries over epoch swaps: coverage is a pure
+        function of the view and query patterns, so registration never
+        evicts it; maintenance separately evicts the entries of the
+        views it touches
         (:meth:`~repro.core.leaf_cover.CoverageMemo.evict_views`).
-        Clears the *current* epoch's
-        cache in place; mutations that publish a successor epoch
-        additionally retire the cleared cache wholesale.
         """
-        self._epoch.plan_cache.clear()
+        epoch = self._epoch
+        if affected is None:
+            return epoch.plan_cache.clear(), 0
+        return epoch.plan_cache.invalidate_views(affected)
 
     def _plan_counters(self) -> tuple[RegistryEpoch, dict[str, int]]:
         """Pin one epoch and assemble its cumulative plan-cache
@@ -671,7 +680,32 @@ class MaterializedViewSystem:
             "warm_hits": warm_hits,
             "epoch": epoch.seq,
             "stage_seconds": stage,
+            "maintenance": self._maintenance_stats(),
         }
+
+    def _maintenance_stats(self) -> dict[str, dict[str, float]]:
+        """Maintenance counter/histogram cells from the registry, keyed
+        by metric name then joined label values (empty before the first
+        edit — the editor creates the cells lazily)."""
+        section: dict[str, dict[str, float]] = {}
+        for snap in self.telemetry.registry.collect():
+            if not snap.name.startswith("repro_maintenance"):
+                continue
+            cells: dict[str, float] = {}
+            if snap.kind == "counter":
+                for sample in snap.samples:
+                    label = "|".join(value for _, value in sample.labels)
+                    cells[label or "total"] = sample.value
+            elif snap.kind == "histogram":
+                for sample in snap.samples:
+                    if not sample.name.endswith("_sum"):
+                        continue
+                    label = "|".join(value for _, value in sample.labels)
+                    cells[label or "total"] = sample.value
+            else:
+                continue
+            section[snap.name] = cells
+        return section
 
     # ------------------------------------------------------------------
     # answering with views

@@ -152,6 +152,21 @@ class VFilter:
             self._wc_count[threshold] = cached
         return cached
 
+    def accepting_views(self, labels: tuple[str, ...]) -> set[str]:
+        """View ids with a decomposed path matching the *concrete*
+        label path ``labels`` (root-to-node, child steps only).
+
+        The delta resolver's probe: an edit can change a view's answer
+        set only if some pattern leaf maps onto a changed node, and
+        that leaf's ``D(V)`` path then matches the node's concrete
+        label path — so the NFA accepting it is a sound hit test.
+        Wildcard-only view paths accept any path at least as long, via
+        the same per-length aggregate :meth:`filter` uses.
+        """
+        accepted = {entry.view_id for entry in self.nfa.read(labels)}
+        accepted.update(self._wildcard_best(len(labels)))
+        return accepted
+
     # ------------------------------------------------------------------
     # Algorithm 1: VIEWFILTERING
     # ------------------------------------------------------------------
@@ -523,6 +538,14 @@ class LayeredVFilter:
 
     def _layers(self) -> tuple[VFilter, ...]:
         return (self.base,) + self.deltas
+
+    def accepting_views(self, labels: tuple[str, ...]) -> set[str]:
+        """Union of :meth:`VFilter.accepting_views` over the stack
+        (each view lives in exactly one layer, so the union is exact)."""
+        accepted: set[str] = set()
+        for layer in self._layers():
+            accepted |= layer.accepting_views(labels)
+        return accepted
 
     # ------------------------------------------------------------------
     # Algorithm 1 over the stack

@@ -1,0 +1,37 @@
+"""Delta propagation: incremental view maintenance under edits.
+
+The subsystem turns a subtree insert/delete into scoped, patch-in-place
+upkeep of the materialized views and caches:
+
+* :mod:`repro.delta.delta` — :class:`SubtreeDelta`, the pre-mutation
+  summary of one edit (packed Dewey range + concrete label paths);
+* :mod:`repro.delta.resolver` — splits the view pool into untouched /
+  patchable / rebuild by running the delta through the VFILTER NFAs;
+* :mod:`repro.delta.patcher` — splices patchable views' fragments by
+  packed-Dewey range, byte-identical to a full re-materialization;
+* :mod:`repro.delta.maintenance` — :class:`DocumentEditor`, the write
+  path tying it together with scoped plan-cache invalidation and
+  base-index patching.
+"""
+
+from .delta import SubtreeDelta
+from .maintenance import DocumentEditor, MaintenanceReport, ViewMaintenance
+from .patcher import FragmentPatcher
+from .resolver import (
+    AffectedViews,
+    ViewImpact,
+    pattern_patchable,
+    resolve_affected,
+)
+
+__all__ = [
+    "AffectedViews",
+    "DocumentEditor",
+    "FragmentPatcher",
+    "MaintenanceReport",
+    "SubtreeDelta",
+    "ViewImpact",
+    "ViewMaintenance",
+    "pattern_patchable",
+    "resolve_affected",
+]

@@ -7,7 +7,7 @@ VFILTER, plan cache) triple for the whole answer — registration never
 blocks readers and readers never block registration.
 
 The one operation snapshots cannot cover is **in-place document
-maintenance** (:class:`repro.core.maintenance.DocumentEditor` mutates
+maintenance** (:class:`repro.delta.maintenance.DocumentEditor` mutates
 the shared base document and its codes directly).  For that the engine
 keeps a readers/writer gate: ``answer`` and ``register_view`` enter as
 shared participants, ``maintain`` waits until every in-flight
@@ -104,7 +104,7 @@ class SnapshotEngine:
 
         Waits for in-flight answers/registrations to drain (new ones
         queue behind us), then calls ``operation(system)`` — typically
-        a :class:`~repro.core.maintenance.DocumentEditor` update.
+        a :class:`~repro.delta.maintenance.DocumentEditor` update.
         """
         with current_trace().span("maintenance_drain"):
             with self._gate:

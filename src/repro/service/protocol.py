@@ -12,6 +12,7 @@ duplicate view id (``ValueError``)        409
 ``ViewNotAnswerableError``                422
 :class:`AdmissionRejectedError`           503 (+ ``Retry-After``)
 :class:`DeadlineExceededError`            504 (+ ``Retry-After``)
+edit-path ``ValueError``/``EncodingError``  400
 any other :class:`~repro.errors.ReproError`  500
 ========================================  ======
 """
@@ -23,18 +24,21 @@ from typing import Any
 
 from ..core.system import AnswerOutcome
 from ..errors import (
+    EncodingError,
     PatternError,
     ReproError,
     ViewNotAnswerableError,
     XPathSyntaxError,
 )
-from ..xmltree.dewey import format_code
+from ..xmltree.dewey import DeweyCode, format_code, parse_code
+from ..xmltree.tree import XMLNode
 from .scheduler import AdmissionRejectedError, DeadlineExceededError
 
 __all__ = [
     "ProtocolError",
     "encode_outcome",
     "error_payload",
+    "parse_edit_request",
     "parse_query_request",
     "parse_register_request",
 ]
@@ -84,6 +88,62 @@ def parse_query_request(raw: bytes) -> tuple[str, str, float | None]:
             raise ProtocolError("timeout_ms must be a positive number")
         timeout = float(timeout_ms) / 1e3
     return query, strategy, timeout
+
+
+def _parse_subtree(payload: Any, depth: int = 0) -> XMLNode:
+    """Build an :class:`XMLNode` subtree from its JSON rendering:
+    ``{"label": ..., "text"?: ..., "attributes"?: {...},
+    "children"?: [...]}``."""
+    if depth > 64:
+        raise ProtocolError("subtree nesting exceeds 64 levels")
+    if not isinstance(payload, dict):
+        raise ProtocolError("subtree must be a JSON object")
+    label = payload.get("label")
+    if not isinstance(label, str) or not label:
+        raise ProtocolError("subtree field 'label' must be a non-empty string")
+    text = payload.get("text")
+    if text is not None and not isinstance(text, str):
+        raise ProtocolError("subtree field 'text' must be a string")
+    attributes = payload.get("attributes")
+    if attributes is not None:
+        if not isinstance(attributes, dict) or not all(
+            isinstance(key, str) and isinstance(value, str)
+            for key, value in attributes.items()
+        ):
+            raise ProtocolError(
+                "subtree field 'attributes' must map strings to strings"
+            )
+    node = XMLNode(label, text, attributes)
+    children = payload.get("children", [])
+    if not isinstance(children, list):
+        raise ProtocolError("subtree field 'children' must be a list")
+    for child in children:
+        node.add_child(_parse_subtree(child, depth + 1))
+    return node
+
+
+def parse_edit_request(raw: bytes) -> tuple[str, DeweyCode, XMLNode | None]:
+    """``{"op": "insert", "parent": <code>, "subtree": {...}}`` or
+    ``{"op": "delete", "node": <code>}`` →
+    (op, anchor code, subtree or None).
+
+    Dewey codes use the dotted form ``/query`` answers already emit
+    (e.g. ``"0.8.6"``).
+    """
+    payload = _parse_json_object(raw)
+    op = payload.get("op")
+    if op not in ("insert", "delete"):
+        raise ProtocolError("field 'op' must be 'insert' or 'delete'")
+    anchor_field = "parent" if op == "insert" else "node"
+    try:
+        code = parse_code(_required_string(payload, anchor_field))
+    except EncodingError as error:
+        raise ProtocolError(str(error)) from None
+    if op == "delete":
+        return op, code, None
+    if "subtree" not in payload:
+        raise ProtocolError("insert requests require a 'subtree' object")
+    return op, code, _parse_subtree(payload["subtree"])
 
 
 def parse_register_request(raw: bytes) -> tuple[str, str]:
@@ -137,6 +197,10 @@ def error_payload(
         body["retry_after"] = retry_after
     elif isinstance(error, ValueError) and "duplicate view id" in str(error):
         status = 409
+    elif isinstance(error, (ValueError, EncodingError)):
+        # Edit-path caller errors: unknown Dewey code, root deletion,
+        # already-attached subtree.
+        status = 400
     else:
         status = 500
     return status, body, headers

@@ -6,6 +6,10 @@ Endpoints:
   answer codes via the scheduler (admission control + coalescing).
 * ``POST /register`` — ``{"view_id", "expression"}`` → 201 on
   success, 409 on a duplicate id.
+* ``POST /edit``     — ``{"op": "insert", "parent", "subtree"}`` or
+  ``{"op": "delete", "node"}`` → the maintenance report.  Runs under
+  the engine's writer gate, so in-flight answers drain first and the
+  edit is a single linearization point.
 * ``GET /stats``     — engine + scheduler counter snapshot.
 * ``GET /metrics``   — Prometheus text exposition (version 0.0.4) of
   the system's shared metrics registry.
@@ -26,12 +30,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs
 
+from ..delta import DocumentEditor, MaintenanceReport
 from ..obs import render_prometheus
 from .engine import SnapshotEngine
 from .protocol import (
     ProtocolError,
     encode_outcome,
     error_payload,
+    parse_edit_request,
     parse_query_request,
     parse_register_request,
 )
@@ -100,6 +106,18 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     201, {"view_id": view_id, "materialized": fits}
                 )
+            elif self.path == "/edit":
+                op, code, subtree = parse_edit_request(raw)
+                editor = self.service.editor
+
+                def run(system: Any) -> MaintenanceReport:
+                    if op == "insert":
+                        assert subtree is not None
+                        return editor.insert_subtree(code, subtree)
+                    return editor.delete_subtree(code)
+
+                report = self.service.engine.maintain(run)
+                self._send_json(200, report.as_dict())
             else:
                 self._send_json(404, {"error": "NotFound",
                                       "message": self.path})
@@ -182,6 +200,9 @@ class QueryServiceServer:
         self.engine = engine
         self.scheduler = scheduler
         self.verbose = verbose
+        #: One editor per server: its metrics handles and fragment
+        #: patcher are reused across edits; ``maintain`` serializes use.
+        self.editor = DocumentEditor(engine.system)
         service = self
 
         class _BoundHandler(_Handler):

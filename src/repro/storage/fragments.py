@@ -88,6 +88,13 @@ class Fragment:
     def stored_bytes(self) -> int:
         return len(self._payload)
 
+    @property
+    def payload(self) -> bytes:
+        """The exact stored bytes (``encode_dewey(code)`` followed by
+        the fragment encoding) — reused verbatim when a delta patch
+        leaves this fragment untouched."""
+        return self._payload
+
 
 class FragmentStore:
     """Fragment persistence for a set of materialized views."""
@@ -202,6 +209,23 @@ class FragmentStore:
         self._manifests[view_id] = (len(payloads), total, False)
         self._cache.pop(view_id, None)
         self._write_manifest(view_id)
+
+    def replace(self, view_id: str, payloads: list[bytes]) -> bool:
+        """Swap a view's stored fragments for patched payloads.
+
+        The delta-maintenance counterpart of :meth:`materialize_encoded`
+        for an *already materialized* view: ``payloads`` must be the
+        encoded fragments in packed-code order, exactly as a fresh
+        materialization would lay them out.  Cap accounting matches
+        :meth:`materialize` — False marks the view capped and discards
+        everything.
+        """
+        self.drop(view_id)
+        total = sum(len(payload) for payload in payloads)
+        if total > self.cap_bytes:
+            return self._mark_capped(view_id)
+        self._store_payloads(view_id, payloads, total)
+        return True
 
     def drop(self, view_id: str) -> None:
         """Remove a view's fragments and manifest."""

@@ -39,6 +39,26 @@ class EncodedDocument:
             }
         return self._by_code.get(code)
 
+    def note_subtree(self, root: XMLNode) -> None:
+        """Patch the lazy code lookup for a freshly encoded subtree
+        appended by maintenance (no-op while the index is unbuilt).
+        The FST cache is untouched: scoped edits never change the
+        schema, so its transitions stay valid."""
+        if self._by_code is None:
+            return
+        for node in root.iter_subtree():
+            if node.dewey is not None:
+                self._by_code[node.dewey] = node
+
+    def forget_subtree(self, root: XMLNode) -> None:
+        """Patch the lazy code lookup for a detached subtree (no-op
+        while the index is unbuilt)."""
+        if self._by_code is None:
+            return
+        for node in root.iter_subtree():
+            if node.dewey is not None:
+                self._by_code.pop(node.dewey, None)
+
     def invalidate(self) -> None:
         """Drop cached lookups after re-encoding."""
         self._by_code = None

@@ -24,7 +24,7 @@ from hypothesis import strategies as st
 from conftest import random_pattern, random_tree
 from repro.analysis import contracts
 from repro.analysis.contracts import ContractViolation
-from repro.core.maintenance import DocumentEditor
+from repro.delta.maintenance import DocumentEditor
 from repro.core.selection import Selection
 from repro.core.system import MaterializedViewSystem
 from repro.core.vfilter import FilterResult
@@ -153,8 +153,10 @@ def test_no_contract_fires_on_generated_workloads(seed):
 class _BrokenInvalidation(MaterializedViewSystem):
     """The bug lint rule L1 exists to prevent, injected deliberately."""
 
-    def _invalidate_plans(self) -> None:  # xmvrlint: disable=L1 -- mutation under test
-        pass
+    def _invalidate_plans(  # xmvrlint: disable=L1 -- mutation under test
+        self, affected=None
+    ) -> tuple[int, int]:
+        return 0, 0
 
 
 def _small_system(cls):

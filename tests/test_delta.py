@@ -1,0 +1,393 @@
+"""Delta-propagation maintenance (repro.delta).
+
+Covers the pieces the coarse maintenance tests don't:
+
+* resolver classification — untouched / patchable / content-only /
+  branching-rebuild verdicts on hand-built documents, plus the
+  fallback-predicate soundness property (a view resolved *untouched*
+  really keeps its exact answer set across the edit);
+* patcher byte-identity — patched fragment payloads equal a fresh
+  re-materialization byte for byte, and the report proves the scoped
+  *patch* path (not a hidden rebuild) produced them;
+* scoped plan-cache invalidation — the satellite regression for the old
+  double-``_invalidate_plans`` edit path: one counted invalidation per
+  edit, plans over untouched views stay warm, assume-all plans (MN, no
+  filter provenance) always drop;
+* maintenance linearizability under the epoch registry — concurrent
+  readers see the pre-edit or post-edit answer, never a mix, and
+  maintenance publishes **no** epoch;
+* a hypothesis property: random edit sequences keep every materialized
+  view byte-identical to ground truth (XMVR_CHECK=1 makes the editor
+  self-check every patch on top of the explicit asserts here).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MaterializedViewSystem, encode_tree
+from repro.delta import DocumentEditor, SubtreeDelta, resolve_affected
+from repro.matching import evaluate
+from repro.service.engine import SnapshotEngine
+from repro.storage.serialize import encode_dewey, encode_fragment
+from repro.xmltree import XMLNode, build_tree
+
+from conftest import random_pattern, random_tree
+
+
+def _system(views: dict[str, str]) -> MaterializedViewSystem:
+    doc = encode_tree(build_tree(
+        ("b", ["t", ("s", ["t", "p"]), ("s", ["t", "p", ("f", ["i"])])])
+    ))
+    system = MaterializedViewSystem(doc)
+    for view_id, expression in views.items():
+        system.register_view(view_id, expression)
+    return system
+
+
+def _first_section(system: MaterializedViewSystem) -> XMLNode:
+    return system.document.tree.root.children[1]
+
+
+def _expected_payloads(system: MaterializedViewSystem, view) -> list[bytes]:
+    answers = evaluate(view.pattern, system.document.tree)
+    entries = sorted(
+        ((n.dewey, n) for n in answers if n.dewey is not None),
+        key=lambda item: item[0],
+    )
+    return [encode_dewey(code) + encode_fragment(node) for code, node in entries]
+
+
+def _stored_payloads(system: MaterializedViewSystem, view_id: str) -> list[bytes]:
+    return [f.payload for f in system.fragments.fragments(view_id)]
+
+
+def _view_modes(report) -> dict[str, str]:
+    return {entry.view_id: entry.mode for entry in report.views}
+
+
+# ----------------------------------------------------------------------
+# resolver classification
+# ----------------------------------------------------------------------
+class TestResolver:
+    def test_unrelated_path_view_untouched(self):
+        system = _system({"VT": "//b/t", "VP": "//s/p"})
+        parent = _first_section(system)
+        delta = SubtreeDelta.for_insert(parent, XMLNode("t"))
+        epoch = system.current_epoch()
+        affected = resolve_affected(
+            delta, epoch.vfilter, system.fragments, list(epoch.materialized)
+        )
+        # (b, s, t) matches neither view's leaf paths and no stored
+        # fragment of either view contains the insertion anchor.
+        assert affected.impacts == ()
+        assert set(affected.untouched) == {"VT", "VP"}
+
+    def test_path_view_with_answer_in_subtree_is_patchable(self):
+        system = _system({"VP": "//s/p"})
+        parent = _first_section(system)
+        delta = SubtreeDelta.for_insert(parent, XMLNode("p"))
+        epoch = system.current_epoch()
+        affected = resolve_affected(
+            delta, epoch.vfilter, system.fragments, list(epoch.materialized)
+        )
+        (impact,) = affected.impacts
+        assert impact.view.view_id == "VP"
+        assert impact.mode == "patch" and impact.splice
+        assert impact.reason == "answers-in-subtree"
+
+    def test_branching_pattern_rebuilds(self):
+        system = _system({"VB": "//s[t]/p"})
+        parent = _first_section(system)
+        delta = SubtreeDelta.for_insert(parent, XMLNode("p"))
+        epoch = system.current_epoch()
+        affected = resolve_affected(
+            delta, epoch.vfilter, system.fragments, list(epoch.materialized)
+        )
+        (impact,) = affected.impacts
+        assert impact.mode == "rebuild"
+        assert impact.reason == "branching-pattern"
+
+    def test_edit_inside_fragment_is_an_answer_hit(self):
+        system = _system({"VP": "//s/p"})
+        answer = system.direct_codes("//s/p")[0]
+        node = system.document.node_by_code(answer)
+        delta = SubtreeDelta.for_insert(node, XMLNode("t"))
+        epoch = system.current_epoch()
+        affected = resolve_affected(
+            delta, epoch.vfilter, system.fragments, list(epoch.materialized)
+        )
+        (impact,) = affected.impacts
+        # The VFILTER NFA accepts containment extensions — (b, s, p, t)
+        # extends the view path — so an edit strictly inside a stored
+        # fragment classifies as a patchable answer hit, and the
+        # patcher's overlap rule re-encodes the grown fragment.
+        assert impact.mode == "patch" and impact.splice
+        assert impact.reason == "answers-in-subtree"
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_untouched_verdict_is_sound(self, seed):
+        """Fallback-predicate soundness: any view the resolver calls
+        untouched keeps its exact answer set across the edit."""
+        rng = random.Random(seed)
+        tree = random_tree(rng, max_nodes=30, max_depth=4)
+        system = MaterializedViewSystem(encode_tree(tree))
+        for index in range(6):
+            system.register_view(f"v{index}", random_pattern(rng, max_nodes=4))
+        editor = DocumentEditor(system)
+        for _ in range(3):
+            nodes = list(system.document.tree.iter_nodes())
+            before = {
+                view.view_id: set(system.fragments.codes(view.view_id))
+                for view in system.materialized_views()
+            }
+            if rng.random() < 0.6 or len(nodes) < 4:
+                parent = rng.choice(nodes)
+                child = XMLNode(rng.choice("abcde"))
+                if rng.random() < 0.5:
+                    child.new_child(rng.choice("abcde"))
+                report = editor.insert_subtree(parent.dewey, child)
+            else:
+                victim = rng.choice([n for n in nodes if n.parent is not None])
+                report = editor.delete_subtree(victim.dewey)
+            for view_id in report.skipped_views:
+                view = next(
+                    v
+                    for v in system.materialized_views()
+                    if v.view_id == view_id
+                )
+                fresh = {
+                    n.dewey
+                    for n in evaluate(view.pattern, system.document.tree)
+                }
+                assert fresh == before[view_id], view.to_xpath()
+
+
+# ----------------------------------------------------------------------
+# patcher byte-identity
+# ----------------------------------------------------------------------
+class TestPatcher:
+    def test_insert_splice_is_byte_identical(self):
+        system = _system({"VP": "//s/p"})
+        editor = DocumentEditor(system)
+        report = editor.insert_subtree(_first_section(system).dewey, XMLNode("p"))
+        assert _view_modes(report) == {"VP": "patched"}
+        (view,) = system.materialized_views()
+        assert _stored_payloads(system, "VP") == _expected_payloads(system, view)
+
+    def test_delete_range_drop_is_byte_identical(self):
+        system = _system({"VP": "//s/p"})
+        editor = DocumentEditor(system)
+        victim = system.direct_codes("//s/p")[0]
+        report = editor.delete_subtree(victim)
+        assert _view_modes(report) == {"VP": "patched"}
+        (view,) = system.materialized_views()
+        payloads = _stored_payloads(system, "VP")
+        assert payloads == _expected_payloads(system, view)
+        assert len(payloads) == 1
+
+    def test_in_fragment_insert_reencodes_live_fragment(self):
+        # f → i is schema-admitted, so growing an existing f-fragment
+        # stays on the delta path; the patcher must re-encode the
+        # overlapped fragment from the live tree, not reuse stale bytes.
+        system = _system({"VF": "//s/f"})
+        editor = DocumentEditor(system)
+        answer = system.direct_codes("//s/f")[0]
+        report = editor.insert_subtree(answer, XMLNode("i"))
+        assert not report.full_reencode
+        assert _view_modes(report) == {"VF": "patched"}
+        (view,) = system.materialized_views()
+        assert _stored_payloads(system, "VF") == _expected_payloads(system, view)
+        # The grown fragment is visible to compensating evaluation.
+        outcome = system.try_answer("//s/f[i]")
+        assert outcome is not None and outcome.codes == [answer]
+
+    def test_untouched_view_payloads_not_rewritten(self):
+        system = _system({"VT": "//b/t", "VP": "//s/p"})
+        editor = DocumentEditor(system)
+        before = _stored_payloads(system, "VT")
+        report = editor.insert_subtree(_first_section(system).dewey, XMLNode("p"))
+        assert "VT" in report.skipped_views
+        assert _stored_payloads(system, "VT") == before
+
+
+# ----------------------------------------------------------------------
+# scoped plan-cache invalidation (the double-invalidation regression)
+# ----------------------------------------------------------------------
+class TestScopedInvalidation:
+    def test_exactly_one_scoped_invalidation_per_edit(self):
+        system = _system({"VP": "//s/p"})
+        editor = DocumentEditor(system)
+        editor.insert_subtree(_first_section(system).dewey, XMLNode("p"))
+        stats = system.stats()["plan_cache"]
+        assert stats["scoped_invalidations"] == 1
+        assert stats["invalidations"] == 0  # no blanket clear on the edit path
+        editor.delete_subtree(system.direct_codes("//s/p")[0])
+        stats = system.stats()["plan_cache"]
+        assert stats["scoped_invalidations"] == 2
+        assert stats["invalidations"] == 0
+
+    def test_plans_over_untouched_views_stay_warm(self):
+        system = _system({"VT": "//b/t", "VP": "//s/p"})
+        editor = DocumentEditor(system)
+        system.answer("//b/t")
+        system.answer("//s/p")
+        report = editor.insert_subtree(
+            _first_section(system).dewey, XMLNode("p")
+        )
+        assert report.affected_views == ["VP"]
+        assert report.plans_dropped >= 1 and report.plans_retained >= 1
+        warm = system.answer("//b/t")
+        assert warm.plan_cache_hit
+        refreshed = system.answer("//s/p")
+        assert not refreshed.plan_cache_hit
+        assert refreshed.codes == system.direct_codes("//s/p")
+
+    def test_edit_affecting_nothing_retains_every_filtered_plan(self):
+        system = _system({"VT": "//b/t", "VP": "//s/p"})
+        editor = DocumentEditor(system)
+        system.answer("//b/t")
+        system.answer("//s/p")
+        # (b, s, t) hits neither view; scoped invalidation drops nothing.
+        report = editor.insert_subtree(_first_section(system).dewey, XMLNode("t"))
+        assert report.affected_views == []
+        assert report.plans_dropped == 0
+        assert system.answer("//b/t").plan_cache_hit
+        assert system.answer("//s/p").plan_cache_hit
+
+    def test_assume_all_plans_always_drop(self):
+        # MN plans carry no VFILTER provenance — their dependency set is
+        # unknowable, so every edit must drop them even when it touches
+        # no view at all.
+        system = _system({"VT": "//b/t", "VP": "//s/p"})
+        editor = DocumentEditor(system)
+        system.answer("//s/p", "MN")
+        report = editor.insert_subtree(_first_section(system).dewey, XMLNode("t"))
+        assert report.affected_views == []
+        assert report.plans_dropped == 1
+        stale = system.answer("//s/p", "MN")
+        assert not stale.plan_cache_hit
+        assert stale.codes == system.direct_codes("//s/p")
+
+    def test_full_reencode_still_clears_everything(self):
+        system = _system({"VT": "//b/t", "VP": "//s/p"})
+        editor = DocumentEditor(system)
+        system.answer("//b/t")
+        report = editor.insert_subtree(
+            _first_section(system).dewey, XMLNode("zzz")
+        )
+        assert report.full_reencode
+        outcome = system.answer("//b/t")
+        assert not outcome.plan_cache_hit
+        assert outcome.codes == system.direct_codes("//b/t")
+
+
+# ----------------------------------------------------------------------
+# linearizability under the epoch registry
+# ----------------------------------------------------------------------
+class TestLinearizability:
+    def test_maintenance_publishes_no_epoch(self):
+        system = _system({"VP": "//s/p"})
+        editor = DocumentEditor(system)
+        seq_before = system.current_epoch().seq
+        editor.insert_subtree(_first_section(system).dewey, XMLNode("p"))
+        # Scoped invalidation only works because the epoch (and its
+        # plan cache) survives the edit.
+        assert system.current_epoch().seq == seq_before
+
+    def test_concurrent_readers_see_pre_or_post_edit_answers(self):
+        system = _system({"VP": "//s/p"})
+        engine = SnapshotEngine(system)
+        editor = DocumentEditor(system)
+        query = "//s/p"
+        pre = set(system.answer(query).codes)
+        results: list[set] = []
+        errors: list[BaseException] = []
+        start = threading.Barrier(9)
+
+        def read() -> None:
+            try:
+                start.wait()
+                for _ in range(12):
+                    results.append(set(engine.answer(query).codes))
+            except BaseException as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+
+        def write() -> None:
+            try:
+                start.wait()
+                target = _first_section(system).dewey
+
+                def edit(target_system):
+                    return editor.insert_subtree(target, XMLNode("p"))
+
+                engine.maintain(edit)
+            except BaseException as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+
+        threads = [threading.Thread(target=read) for _ in range(8)]
+        threads.append(threading.Thread(target=write))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        post = set(system.answer(query).codes)
+        assert len(post) == len(pre) + 1
+        for observed in results:
+            assert observed in (pre, post)
+
+
+# ----------------------------------------------------------------------
+# stats surfacing
+# ----------------------------------------------------------------------
+def test_maintenance_stats_surface_in_system_stats():
+    system = _system({"VP": "//s/p"})
+    editor = DocumentEditor(system)
+    editor.insert_subtree(_first_section(system).dewey, XMLNode("p"))
+    maintenance = system.stats()["maintenance"]
+    assert maintenance["repro_maintenance_total"]["insert"] == 1.0
+    assert maintenance["repro_maintenance_ops_total"]["insert|delta"] == 1.0
+    assert maintenance["repro_maintenance_views_total"]["patched"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# property: random edit sequences keep every view byte-identical
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.integers(0, 10**9))
+def test_random_edit_sequences_keep_views_byte_identical(seed):
+    rng = random.Random(seed)
+    tree = random_tree(rng, max_nodes=25, max_depth=4)
+    system = MaterializedViewSystem(encode_tree(tree))
+    for index in range(4):
+        system.register_view(f"v{index}", random_pattern(rng, max_nodes=4))
+    editor = DocumentEditor(system)
+    for _ in range(3):
+        nodes = list(system.document.tree.iter_nodes())
+        if rng.random() < 0.6 or len(nodes) < 4:
+            parent = rng.choice(nodes)
+            child = XMLNode(rng.choice("abcd"))
+            if rng.random() < 0.4:
+                child.new_child(rng.choice("abcd"))
+            editor.insert_subtree(parent.dewey, child)
+        else:
+            victim = rng.choice([n for n in nodes if n.parent is not None])
+            editor.delete_subtree(victim.dewey)
+        for view in system.materialized_views():
+            assert _stored_payloads(
+                system, view.view_id
+            ) == _expected_payloads(system, view), view.to_xpath()
+        query = random_pattern(rng, max_nodes=4)
+        outcome = system.try_answer(query)
+        if outcome is not None:
+            assert outcome.codes == system.direct_codes(query)

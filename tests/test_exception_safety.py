@@ -11,7 +11,7 @@ explicit cleanup handlers.
 import pytest
 
 from repro import MaterializedViewSystem, encode_tree, parse_xpath
-from repro.core import DocumentEditor
+from repro.delta import DocumentEditor
 from repro.xmltree import XMLNode, build_tree
 
 

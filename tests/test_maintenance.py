@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro import MaterializedViewSystem, encode_tree
-from repro.core import DocumentEditor
+from repro.delta import DocumentEditor
 from repro.errors import EncodingError
 from repro.xmltree import XMLNode, build_tree
 

@@ -20,7 +20,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import MaterializedViewSystem, ViewNotAnswerableError, encode_tree, parse_xml
-from repro.core.maintenance import DocumentEditor
+from repro.delta.maintenance import DocumentEditor
 from repro.core.plancache import PlanCache, PlanEntry
 from repro.xmltree.tree import XMLNode
 from repro.xpath.parser import parse_xpath

@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 import threading
 
-from repro.core.maintenance import DocumentEditor
+from repro.delta.maintenance import DocumentEditor
 from repro.core.system import MaterializedViewSystem
 from repro.service import SnapshotEngine
 from repro.workload.xmark import generate_xmark

@@ -38,6 +38,7 @@ ALWAYS_STRICT_PREFIXES = (
     "repro.core",
     "repro.xpath",
     "repro.analysis",
+    "repro.delta",
     "repro.service",
     "repro.obs",
 )
